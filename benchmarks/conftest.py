@@ -1,0 +1,21 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one of the paper's tables/figures through
+:mod:`repro.bench` and prints the rows next to the paper's reference
+values, so ``pytest benchmarks/ --benchmark-only -s`` reproduces the whole
+evaluation section.
+"""
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "paper: regenerates a table/figure from the paper"
+    )
+
+
+@pytest.fixture(autouse=True)
+def _print_spacing():
+    print()
+    yield

@@ -1,0 +1,22 @@
+"""Figure 3 — throughput under offloading x quantization strategies.
+
+Paper values (OPT-30B, s=64, n=128, bsz=64, bls=640): CPU-attention 41,
+CPU+quant best 32, GPU-attention 46, GPU+W4 35, GPU+KV4 82, GPU+W4KV4 55
+tokens/s.
+"""
+
+import pytest
+
+from repro.bench import format_table, paper_data, run_fig3_quant_strategies
+
+
+@pytest.mark.paper
+def test_fig3_quant_strategies(benchmark):
+    rows = benchmark.pedantic(run_fig3_quant_strategies, rounds=1, iterations=1)
+    print(format_table(rows, "Figure 3 — offloading x quantization (tokens/s)"))
+    print(f"paper reference: {paper_data.FIG3_TPUT}")
+    tput = {r["strategy"]: r["tokens_per_s"] for r in rows}
+    # Shape assertions (Observations 1 & 2).
+    assert tput["cpu/kv4"] < tput["cpu/none"]
+    assert tput["gpu/kv4"] > tput["gpu/none"] > tput["gpu/w4"]
+    assert tput["gpu/w4+kv4"] < tput["gpu/kv4"]

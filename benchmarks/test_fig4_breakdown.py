@@ -1,0 +1,26 @@
+"""Figure 4 — inference-time breakdown into quantize / dequantize / other.
+
+Paper: with attention offloading the (de)quantization overhead is zero;
+without it, the codec takes a large slice (the W4 bar is dominated by
+dequantization).
+"""
+
+import pytest
+
+from repro.bench import format_table, run_fig4_breakdown
+
+
+@pytest.mark.paper
+def test_fig4_breakdown(benchmark):
+    rows = benchmark.pedantic(run_fig4_breakdown, rounds=1, iterations=1)
+    print(format_table(rows, "Figure 4 — time breakdown (seconds)"))
+    by = {r["strategy"]: r for r in rows}
+    # No codec time without quantization.
+    assert by["cpu/none"]["quantize_s"] == 0.0
+    assert by["gpu/none"]["dequantize_s"] == 0.0
+    # W4 without attention offloading is dequantization-heavy.
+    w4 = by["gpu/w4"]
+    assert w4["dequantize_s"] > 0.2 * w4["total_s"]
+    # KV4's codec cost is much smaller relative to its win.
+    kv4 = by["gpu/kv4"]
+    assert kv4["dequantize_s"] + kv4["quantize_s"] < 0.5 * kv4["total_s"]

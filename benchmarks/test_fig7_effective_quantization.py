@@ -1,0 +1,25 @@
+"""Figure 7 — benefit of the performance model alone (parallelism control
+disabled): LM-Offload vs FlexGen on the 30B models.
+
+Paper: +90%..+121% across all configurations, consistent as model size
+grows.
+"""
+
+import pytest
+
+from repro.bench import format_table, paper_data, run_fig7_effective_quantization
+
+
+@pytest.mark.paper
+def test_fig7_effective_quantization(benchmark):
+    rows = benchmark.pedantic(
+        run_fig7_effective_quantization, rounds=1, iterations=1
+    )
+    print(format_table(rows, "Figure 7 — quant-aware planning only (tokens/s)"))
+    print(f"paper gain range: {paper_data.FIG7_GAIN_RANGE}")
+    gains = [r["gain"] for r in rows]
+    # Every configuration gains substantially...
+    assert all(g > 1.3 for g in gains)
+    # ...and the benefit is consistent across lengths and both models
+    # (paper: "remains consistent as the model size increases").
+    assert max(gains) / min(gains) < 1.5

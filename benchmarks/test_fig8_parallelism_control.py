@@ -1,0 +1,40 @@
+"""Figure 8 — six-task execution times, default vs controlled threading.
+
+Paper (OPT-30B, n=8): compute task -32%, average across tasks -19%,
+end-to-end -38%; default (56 intra, 112 inter) vs tuned (16, 12).
+"""
+
+import pytest
+
+from repro.bench import format_table, paper_data, run_fig8_parallelism_control
+
+
+@pytest.mark.paper
+def test_fig8_parallelism_control(benchmark):
+    result = benchmark.pedantic(run_fig8_parallelism_control, rounds=1, iterations=1)
+    rows = [
+        {
+            "task": k,
+            "default_s": result["default_tasks_s"][k],
+            "controlled_s": result["controlled_tasks_s"][k],
+        }
+        for k in result["default_tasks_s"]
+    ]
+    print(format_table(rows, "Figure 8 — per-task seconds (one decode token)"))
+    print(f"chosen plan: {result['plan']}")
+    print(
+        f"reductions: compute {result['compute_reduction']:.0%} "
+        f"(paper {paper_data.FIG8['compute_reduction']:.0%}), "
+        f"avg {result['avg_task_reduction']:.0%} "
+        f"(paper {paper_data.FIG8['avg_task_reduction']:.0%}), "
+        f"end-to-end {result['end_to_end_reduction']:.0%} "
+        f"(paper {paper_data.FIG8['end_to_end_reduction']:.0%})"
+    )
+    assert 0.15 < result["compute_reduction"] < 0.6
+    assert result["end_to_end_reduction"] > 0.15
+    # The compute task benefits the most (paper's observation).
+    deltas = {
+        k: result["default_tasks_s"][k] - result["controlled_tasks_s"][k]
+        for k in result["default_tasks_s"]
+    }
+    assert max(deltas, key=deltas.get) == "compute"

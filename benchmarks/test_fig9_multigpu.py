@@ -1,0 +1,28 @@
+"""Figure 9 — multi-GPU weak scaling (pipeline parallelism).
+
+Paper: OPT-13B / LLaMA-13B, s=256, n=64, batch doubles with GPU count;
+LM-Offload beats FlexGen by up to 327% (avg 112%) and the gap widens as
+GPUs are added.
+"""
+
+import pytest
+
+from repro.bench import format_table, paper_data, run_fig9_multigpu
+
+
+@pytest.mark.paper
+def test_fig9_multigpu(benchmark):
+    rows = benchmark.pedantic(run_fig9_multigpu, rounds=1, iterations=1)
+    print(format_table(rows, "Figure 9 — weak scaling (tokens/s)"))
+    print(f"paper: max gain {paper_data.FIG9['max_gain']}x, avg {paper_data.FIG9['avg_gain']}x")
+    for model in ("opt-13b", "llama-13b"):
+        gains = [r["gain"] for r in rows if r["model"] == model]
+        # The gap grows with GPU count (paper's headline observation).
+        assert gains[-1] > gains[0]
+        assert gains[-1] > 1.3
+        # LM-Offload never loses.
+        assert all(g >= 0.99 for g in gains)
+    # Weak scaling: LM-Offload throughput grows with GPUs.
+    for model in ("opt-13b", "llama-13b"):
+        lm = [r["lm_offload"] for r in rows if r["model"] == model]
+        assert lm[-1] > 1.8 * lm[0]

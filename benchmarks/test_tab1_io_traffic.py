@@ -1,0 +1,27 @@
+"""Table 1 — I/O traffic for one generated token, with/without attention
+offloading.
+
+Paper: with offloading, weights 16.32 GB / KV 0 / activation 0.38 GB;
+without, weights 38.88 GB / KV 78.72 GB in + 0.8 GB out.
+"""
+
+import pytest
+
+from repro.bench import format_table, paper_data, run_tab1_io_traffic
+
+
+@pytest.mark.paper
+def test_tab1_io_traffic(benchmark):
+    rows = benchmark.pedantic(run_tab1_io_traffic, rounds=1, iterations=1)
+    print(format_table(rows, "Table 1 — I/O traffic (GB per token)"))
+    print(f"paper reference: {paper_data.TAB1_TRAFFIC_GB}")
+    data = {(r["case"], r["direction"], r["tensor"]): r["gb_per_token"] for r in rows}
+    assert data[("with_offload", "cpu->gpu", "kv_cache")] == 0.0
+    assert data[("without_offload", "cpu->gpu", "kv_cache")] > 50
+    # Attention offloading reduces the weight stream (more GPU residency).
+    assert (
+        data[("with_offload", "cpu->gpu", "weights")]
+        < data[("without_offload", "cpu->gpu", "weights")]
+    )
+    # Activations are negligible either way (paper: ~0.38 GB).
+    assert data[("with_offload", "cpu->gpu", "activation")] < 1.0

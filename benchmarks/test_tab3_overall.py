@@ -1,0 +1,45 @@
+"""Table 3 — FlexGen vs ZeRO-Inference vs LM-Offload across four models
+and five generation lengths, plus the §5.2 headline speedups.
+
+Paper headline: LM-Offload beats FlexGen by up to 2.95x (avg 2.34x) and
+ZeRO-Inference by up to 2.88x (avg 1.57x).
+"""
+
+import statistics
+
+import pytest
+
+from repro.bench import format_table, paper_data, run_tab3_overall
+
+
+@pytest.mark.paper
+def test_tab3_overall(benchmark):
+    rows = benchmark.pedantic(run_tab3_overall, rounds=1, iterations=1)
+    print(format_table(rows, "Table 3 — overall comparison"))
+
+    lm = {(r["model"], r["len"]): r["tput"] for r in rows if r["framework"] == "lm-offload"}
+    fg = {(r["model"], r["len"]): r["tput"] for r in rows if r["framework"] == "flexgen"}
+    zr = {(r["model"], r["len"]): r["tput"] for r in rows if r["framework"] == "zero-inference"}
+
+    fg_gains = [lm[k] / fg[k] for k in lm]
+    zr_gains = [lm[k] / zr[k] for k in lm]
+    print(
+        f"vs FlexGen: max {max(fg_gains):.2f} avg {statistics.mean(fg_gains):.2f} "
+        f"(paper {paper_data.HEADLINE['flexgen']['max']}/{paper_data.HEADLINE['flexgen']['avg']})"
+    )
+    print(
+        f"vs ZeRO:    max {max(zr_gains):.2f} avg {statistics.mean(zr_gains):.2f} "
+        f"(paper {paper_data.HEADLINE['zero-inference']['max']}/{paper_data.HEADLINE['zero-inference']['avg']})"
+    )
+
+    # Shape: LM-Offload beats FlexGen in every configuration (paper: all
+    # norm-tputs < 1), by a substantial average factor.
+    assert all(g > 1.0 for g in fg_gains)
+    assert 1.4 < statistics.mean(fg_gains) < 3.0
+    # Shape: LM-Offload beats ZeRO in most configurations; ZeRO takes a
+    # few (paper: OPT-30B n=128 by 7%).
+    assert sum(g > 1.0 for g in zr_gains) >= len(zr_gains) // 2
+    # ZeRO's batches are far smaller (paper: ~24x on average).
+    zr_batches = [r["bsz"] for r in rows if r["framework"] == "zero-inference"]
+    lm_batches = [r["bsz"] for r in rows if r["framework"] == "lm-offload"]
+    assert statistics.mean(lm_batches) > 10 * statistics.mean(zr_batches)

@@ -1,0 +1,26 @@
+"""Table 5 — last-level cache misses under default vs controlled threading.
+
+Paper: loads 10B -> 6B, stores 19B -> 12B (~38% fewer in both classes).
+"""
+
+import pytest
+
+from repro.bench import paper_data, run_tab5_llc_misses
+
+
+@pytest.mark.paper
+def test_tab5_llc_misses(benchmark):
+    result = benchmark.pedantic(run_tab5_llc_misses, rounds=1, iterations=1)
+    print("Table 5 — LLC misses (billions)")
+    for mode in ("default", "controlled"):
+        print(
+            f"  {mode:10s} load {result[mode]['load']/1e9:6.2f}B "
+            f"store {result[mode]['store']/1e9:6.2f}B "
+            f"(paper {paper_data.TAB5[mode]['load']/1e9:.0f}B / "
+            f"{paper_data.TAB5[mode]['store']/1e9:.0f}B)"
+        )
+    print(f"  reduction {result['reduction']:.0%} (paper ~38%)")
+    assert 0.2 < result["reduction"] < 0.6
+    # Magnitudes within ~3x of the measured counters.
+    assert 2e9 < result["default"]["load"] < 30e9
+    assert 4e9 < result["default"]["store"] < 60e9

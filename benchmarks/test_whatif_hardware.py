@@ -1,0 +1,30 @@
+"""What-if hardware sweep (extension bench).
+
+Not a paper figure — this exercises the performance model the way its
+abstract promises: answering deployment questions cheaply.  Asserted
+shapes: faster interconnects shift the optimum toward GPU attention with a
+quantized cache; more GPU memory raises residency and throughput.
+"""
+
+import pytest
+
+from repro.bench import format_table
+from repro.bench.whatif import run_whatif, whatif_rows
+from repro.models import get_model
+from repro.perfmodel import Workload
+
+
+@pytest.mark.paper
+def test_whatif_hardware(benchmark):
+    workload = Workload(get_model("opt-30b"), 64, 8, 64, 10)
+    results = benchmark.pedantic(
+        lambda: run_whatif(workload), rounds=1, iterations=1
+    )
+    print(format_table(whatif_rows(results), "What-if hardware sweep"))
+    by = {r.variant: r for r in results}
+    assert by["h100-like"].throughput > by["baseline-a100-pcie4"].throughput
+    assert by["a100-80gb"].throughput > by["baseline-a100-pcie4"].throughput
+    assert by["pcie3-x16"].throughput <= by["baseline-a100-pcie4"].throughput
+    # Decision flips with the interconnect.
+    assert by["pcie3-x16"].attention_on_cpu
+    assert not by["pcie5-x16"].attention_on_cpu

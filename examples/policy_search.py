@@ -1,0 +1,68 @@
+"""Performance-model-guided policy exploration (paper §3).
+
+Shows (1) the throughput of every offloading x quantization strategy at
+its best placement, and (2) the three decision procedures of §3.2's
+"How to use the models".
+
+Run:  python examples/policy_search.py
+"""
+
+from repro import (
+    CpuExecutionContext,
+    HardwareParams,
+    OffloadPolicy,
+    QuantConfig,
+    Workload,
+    get_model,
+    single_a100,
+)
+from repro.bench import format_table, run_fig3_quant_strategies
+from repro.parallel import ContentionModel, CpuTopology
+from repro.perfmodel import PerformanceAnalyzer
+
+
+def main() -> None:
+    print("=== Strategy space (Figure 3 reproduction) ===")
+    rows = run_fig3_quant_strategies()
+    print(format_table(rows))
+    print()
+
+    platform = single_a100()
+    hw = HardwareParams.from_platform(platform)
+    topo = CpuTopology.from_device(platform.cpu)
+    ctx = CpuExecutionContext.pytorch_default(topo, ContentionModel(topo, platform.cache))
+    workload = Workload(get_model("opt-30b"), 64, 128, 64, 10)
+    analyzer = PerformanceAnalyzer(workload, hw, ctx, quant=QuantConfig(bits=4))
+
+    cpu_base = OffloadPolicy(
+        wg=0.55, hg=0.0, attention_on_cpu=True, gpu_batch_size=64, num_gpu_batches=10
+    )
+    gpu_base = OffloadPolicy(
+        wg=0.55, hg=0.0, attention_on_cpu=False, gpu_batch_size=64, num_gpu_batches=10
+    )
+
+    print("=== §3.2 decision procedures ===")
+    d = analyzer.weight_quant_benefit(gpu_base)
+    print(
+        f"1. Quantize weights (GPU attention)?  {'yes' if d.beneficial else 'no'} "
+        f"({d.seconds_without:.0f}s -> {d.seconds_with:.0f}s)"
+    )
+    d = analyzer.kv_quant_benefit(gpu_base)
+    print(
+        f"2. Quantize KV cache (GPU attention)? {'yes' if d.beneficial else 'no'} "
+        f"({d.seconds_without:.0f}s -> {d.seconds_with:.0f}s, {d.speedup:.2f}x)"
+    )
+    d = analyzer.kv_quant_benefit(cpu_base)
+    print(
+        f"   ... with attention offloaded?      {'yes' if d.beneficial else 'no'} "
+        f"(Observation 1: the CPU pays the codec every token)"
+    )
+    d = analyzer.attention_offload_benefit(cpu_base)
+    print(
+        f"3. Offload attention to the CPU?      {'yes' if d.beneficial else 'no'} "
+        f"(each placement at its own best quantization)"
+    )
+
+
+if __name__ == "__main__":
+    main()

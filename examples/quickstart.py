@@ -1,0 +1,53 @@
+"""Quickstart: plan and run LM-Offload on OPT-30B, compare baselines.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    FlexGenEngine,
+    LMOffloadEngine,
+    Workload,
+    ZeroInferenceEngine,
+    get_model,
+    single_a100,
+)
+
+
+def main() -> None:
+    # The paper's motivating workload: OPT-30B, prompt 64, generate 8
+    # tokens for a zig-zag block of 640 sequences (64 x 10 batches).
+    workload = Workload(
+        model=get_model("opt-30b"),
+        prompt_len=64,
+        gen_len=8,
+        gpu_batch_size=64,
+        num_gpu_batches=10,
+    )
+    print(f"workload: {workload.describe()}")
+    fp = workload.footprint()
+    print(
+        f"weights {fp.total_weight_bytes/1e9:.0f} GB, "
+        f"peak KV cache {fp.peak_kv_bytes/1e9:.0f} GB "
+        f"-> far beyond one A100-40GB, so offloading is mandatory.\n"
+    )
+
+    for engine in (
+        FlexGenEngine(single_a100()),
+        ZeroInferenceEngine(single_a100()),
+        LMOffloadEngine(single_a100()),
+    ):
+        report = engine.run(workload)
+        print(f"{report.engine:15s} {report.throughput:7.1f} tokens/s")
+        print(f"  policy: {report.policy.describe()}")
+        print(
+            f"  memory: GPU {report.gpu_bytes/1e9:.1f} GB, "
+            f"host {report.cpu_bytes/1e9:.1f} GB"
+        )
+        if report.parallelism is not None:
+            print(f"  threads: {report.parallelism.describe()}")
+        print(f"  bottleneck task: {report.breakdown.bottleneck}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

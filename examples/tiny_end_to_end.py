@@ -1,0 +1,73 @@
+"""Real end-to-end generation through the offloading runtime.
+
+A tiny NumPy transformer generates text while its weights live in a
+simulated host-memory pool, stream through a simulated PCIe link, and are
+(optionally) group-wise quantized for real — the same code paths the
+analytic engines cost at 30B+ scale.
+
+Run:  python examples/tiny_end_to_end.py
+"""
+
+import numpy as np
+
+from repro import (
+    FunctionalEngine,
+    OffloadPolicy,
+    QuantConfig,
+    Transformer,
+    TransformerWeights,
+    get_model,
+    small_test_platform,
+)
+from repro.models import ByteTokenizer
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    config = get_model("tiny-4l")
+    weights = TransformerWeights.random(config, rng)
+    tokenizer = ByteTokenizer()
+    prompts = ["offloading is", "tensors move"]
+    prompt_ids = tokenizer.encode_batch(prompts, length=12)
+
+    print(f"model: {config.name} ({config.total_weights/1e6:.1f}M transformer params)")
+    reference = Transformer(weights).generate(prompt_ids.copy(), 16)
+
+    policies = {
+        "all-on-gpu": OffloadPolicy(
+            wg=1.0, hg=1.0, attention_on_cpu=True,
+            gpu_batch_size=2, num_gpu_batches=1,
+        ),
+        "half-offloaded": OffloadPolicy(
+            wg=0.5, hg=1.0, attention_on_cpu=True,
+            gpu_batch_size=2, num_gpu_batches=1,
+        ),
+        "offloaded+W8": OffloadPolicy(
+            wg=0.0, hg=1.0, attention_on_cpu=True,
+            weight_quant=QuantConfig(bits=8, group_size=32),
+            gpu_batch_size=2, num_gpu_batches=1,
+        ),
+        "offloaded+W4": OffloadPolicy(
+            wg=0.0, hg=1.0, attention_on_cpu=True,
+            weight_quant=QuantConfig(bits=4, group_size=32),
+            gpu_batch_size=2, num_gpu_batches=1,
+        ),
+    }
+
+    for name, policy in policies.items():
+        engine = FunctionalEngine(
+            weights=weights, policy=policy, platform=small_test_platform()
+        )
+        result = engine.generate(prompt_ids.copy(), 16)
+        agreement = (result.token_ids == reference).mean()
+        weights_gb = result.traffic_by_category.get("weights", 0.0) / 1e6
+        print(
+            f"{name:16s} sim {result.simulated_seconds*1e3:7.2f} ms  "
+            f"weights moved {weights_gb:7.2f} MB  "
+            f"token agreement vs fp32 reference {agreement:.0%}"
+        )
+        print(f"  text[0]: {tokenizer.decode(result.token_ids[0])!r}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""LM-Offload reproduction: performance model-guided LLM inference with
+tensor offloading, quantization and parallelism control (IPDPS 2025).
+
+Quick start::
+
+    from repro import LMOffloadEngine, Workload, get_model, single_a100
+
+    engine = LMOffloadEngine(single_a100())
+    workload = Workload(get_model("opt-30b"), prompt_len=64, gen_len=32,
+                        gpu_batch_size=64, num_gpu_batches=10)
+    report = engine.run(workload)
+    print(report.throughput, "tokens/s under policy", report.policy.describe())
+
+Package map (see DESIGN.md for the full inventory):
+
+- :mod:`repro.hardware` — simulated platforms (A100 + Xeon, POWER9 + V100).
+- :mod:`repro.models` — model zoo + executable NumPy transformer.
+- :mod:`repro.quant` — group-wise quantization (real bit packing).
+- :mod:`repro.offload` — tensor placement, transfer, policies, LP planner.
+- :mod:`repro.runtime` — six-task overlapped schedule, op graphs, events.
+- :mod:`repro.parallel` — CPU contention model + Algorithm 3 controller.
+- :mod:`repro.perfmodel` — the paper's Eqs. 1-24.
+- :mod:`repro.core` — LM-Offload engine (+ functional NumPy engine).
+- :mod:`repro.baselines` — FlexGen and ZeRO-Inference.
+- :mod:`repro.multigpu` — pipeline-parallel weak scaling.
+- :mod:`repro.bench` — per-table/figure experiment runners.
+"""
+
+from repro.baselines import FlexGenEngine, ZeroInferenceEngine
+from repro.core import EngineConfig, FunctionalEngine, InferenceReport, LMOffloadEngine
+from repro.hardware import Platform, power9_4xv100, single_a100, small_test_platform
+from repro.models import ModelFootprint, Transformer, TransformerWeights, get_model
+from repro.offload import OffloadPolicy
+from repro.perfmodel import CostModel, CpuExecutionContext, HardwareParams, Workload
+from repro.quant import QuantConfig, compress, decompress
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FlexGenEngine",
+    "ZeroInferenceEngine",
+    "EngineConfig",
+    "FunctionalEngine",
+    "InferenceReport",
+    "LMOffloadEngine",
+    "Platform",
+    "power9_4xv100",
+    "single_a100",
+    "small_test_platform",
+    "ModelFootprint",
+    "Transformer",
+    "TransformerWeights",
+    "get_model",
+    "OffloadPolicy",
+    "CostModel",
+    "CpuExecutionContext",
+    "HardwareParams",
+    "Workload",
+    "QuantConfig",
+    "compress",
+    "decompress",
+    "__version__",
+]

@@ -1,0 +1,14 @@
+"""Baseline systems re-implemented on the same substrate (paper §5.1).
+
+* :class:`FlexGenEngine` — zig-zag block schedule with LP placement search
+  but **no quantization-awareness** (its search never considers the codec
+  cost/benefit) and **default PyTorch threading**.
+* :class:`ZeroInferenceEngine` — ZeRO-Inference's all-or-nothing
+  offloading: all weights GPU-resident in 4-bit, KV cache fully offloaded
+  and streamed, small batches, no zig-zag blocking.
+"""
+
+from repro.baselines.flexgen import FlexGenEngine
+from repro.baselines.zero_inference import ZeroInferenceEngine
+
+__all__ = ["FlexGenEngine", "ZeroInferenceEngine"]

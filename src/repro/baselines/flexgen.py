@@ -1,0 +1,67 @@
+"""FlexGen baseline (Sheng et al., ICML'23) on the shared substrate.
+
+What it shares with LM-Offload: the zig-zag block schedule, the six
+overlapped tasks, the LP placement search over wg/cg/hg and the attention
+placement choice.
+
+What it lacks (the paper's §2.2 critique): a model of quantization
+overhead/benefit — its search runs with quantization off — and any
+thread-level parallelism control — it inherits PyTorch defaults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.report import InferenceReport
+from repro.hardware.platform import Platform
+from repro.offload.planner import PolicyPlanner
+from repro.offload.policy import OffloadPolicy
+from repro.parallel.speedup import ContentionModel
+from repro.parallel.topology import CpuTopology
+from repro.perfmodel.constants import EngineCalibration
+from repro.perfmodel.latency import CostModel, CpuExecutionContext
+from repro.perfmodel.notation import HardwareParams, Workload
+
+
+@dataclass
+class FlexGenEngine:
+    """FlexGen: LP placement, no quant-awareness, default threading."""
+
+    platform: Platform
+    calibration: EngineCalibration = field(
+        default_factory=EngineCalibration.paper_defaults
+    )
+    name: str = "flexgen"
+
+    def __post_init__(self) -> None:
+        self.hw = HardwareParams.from_platform(self.platform)
+        self.topology = CpuTopology.from_device(self.platform.cpu)
+        self.contention = ContentionModel(self.topology, self.platform.cache)
+        self.ctx = CpuExecutionContext.pytorch_default(self.topology, self.contention)
+
+    def plan(self, workload: Workload) -> OffloadPolicy:
+        planner = PolicyPlanner(
+            hw=self.hw,
+            cpu_ctx=self.ctx,
+            quant_aware=False,
+            allow_gpu_attention=True,
+        )
+        policy, _ = planner.search(workload)
+        return policy
+
+    def run(
+        self, workload: Workload, policy: OffloadPolicy | None = None
+    ) -> InferenceReport:
+        if policy is None:
+            policy = self.plan(workload)
+        model = CostModel(workload, policy, self.hw, self.ctx, self.calibration)
+        return InferenceReport(
+            engine=self.name,
+            workload=workload,
+            policy=policy,
+            breakdown=model.breakdown(),
+            gpu_bytes=model.gpu_bytes_required(),
+            cpu_bytes=model.cpu_bytes_required(),
+            parallelism=None,
+        )

@@ -1,0 +1,42 @@
+"""Benchmark harness support: paper reference data + experiment runners.
+
+Every table and figure in the paper's evaluation has a runner here that
+returns structured rows; the ``benchmarks/`` pytest-benchmark targets and
+the examples print them.  Paper-measured values ship alongside so each
+bench can report measured-vs-paper shape checks.
+"""
+
+from repro.bench.tables import format_table
+from repro.bench.viz import hbar_chart, sparkline, sweep_summary
+from repro.bench.whatif import run_whatif, whatif_rows
+from repro.bench import paper_data
+from repro.bench.experiments import (
+    run_fig3_quant_strategies,
+    run_fig4_breakdown,
+    run_tab1_io_traffic,
+    run_fig5_parallelism_sweep,
+    run_tab3_overall,
+    run_fig7_effective_quantization,
+    run_fig8_parallelism_control,
+    run_tab5_llc_misses,
+    run_fig9_multigpu,
+)
+
+__all__ = [
+    "format_table",
+    "hbar_chart",
+    "sparkline",
+    "sweep_summary",
+    "run_whatif",
+    "whatif_rows",
+    "paper_data",
+    "run_fig3_quant_strategies",
+    "run_fig4_breakdown",
+    "run_tab1_io_traffic",
+    "run_fig5_parallelism_sweep",
+    "run_tab3_overall",
+    "run_fig7_effective_quantization",
+    "run_fig8_parallelism_control",
+    "run_tab5_llc_misses",
+    "run_fig9_multigpu",
+]

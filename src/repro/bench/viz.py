@@ -1,0 +1,60 @@
+"""Terminal visualisation: sparklines and horizontal bar charts.
+
+Keeps the CLI and examples dependency-free while still conveying the
+sweeps' shapes at a glance.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+_SPARK = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Unicode sparkline of a numeric series (constant series -> midline)."""
+    vals = [float(v) for v in values]
+    if not vals:
+        return ""
+    lo, hi = min(vals), max(vals)
+    if hi == lo:
+        return _SPARK[3] * len(vals)
+    span = hi - lo
+    out = []
+    for v in vals:
+        idx = int((v - lo) / span * (len(_SPARK) - 1))
+        out.append(_SPARK[idx])
+    return "".join(out)
+
+
+def hbar_chart(
+    data: Mapping[str, float],
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart with aligned labels and values."""
+    if not data:
+        return "(no data)"
+    label_w = max(len(str(k)) for k in data)
+    peak = max(data.values())
+    lines = []
+    for label, value in data.items():
+        bar = "█" * (int(value / peak * width) if peak > 0 else 0)
+        lines.append(f"{str(label).ljust(label_w)} |{bar.ljust(width)} {value:g}{unit}")
+    return "\n".join(lines)
+
+
+def sweep_summary(
+    points: Sequence[Mapping[str, float]],
+    x_key: str,
+    y_key: str,
+    label: str = "",
+) -> str:
+    """One-line sweep summary: label, sparkline, best point."""
+    xs = [p[x_key] for p in points]
+    ys = [p[y_key] for p in points]
+    best = max(range(len(ys)), key=lambda i: ys[i])
+    return (
+        f"{label + ': ' if label else ''}{sparkline(ys)}  "
+        f"best {y_key}={ys[best]:g} at {x_key}={xs[best]:g}"
+    )

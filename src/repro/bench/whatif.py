@@ -1,0 +1,99 @@
+"""What-if hardware sensitivity analysis.
+
+The performance model makes hardware questions cheap to answer: *what if
+the interconnect were PCIe 3/5 instead of 4?  What if the GPU had 80 GB?
+What if host DRAM were twice as fast?*  This module sweeps such variants
+and reports how the best policy and its throughput shift — the kind of
+procurement analysis the paper's model enables but does not show.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import PolicyError
+from repro.hardware.platform import Platform, single_a100
+from repro.offload.planner import PolicyPlanner
+from repro.parallel.speedup import ContentionModel
+from repro.parallel.topology import CpuTopology
+from repro.perfmodel.latency import CpuExecutionContext
+from repro.perfmodel.notation import HardwareParams, Workload
+from repro.units import GB
+
+#: Named hardware variants: dotted HardwareParams overrides.
+HARDWARE_VARIANTS: dict[str, dict[str, float]] = {
+    "baseline-a100-pcie4": {},
+    "pcie3-x16": {"pcie_bdw": 16 * GB},
+    "pcie5-x16": {"pcie_bdw": 64 * GB},
+    "a100-80gb": {"gpu_mem_capacity": 80 * GB},
+    "h100-like": {
+        "gpu_flops": 989e12,
+        "gpu_mem_bdw": 3350 * GB,
+        "gpu_mem_capacity": 80 * GB,
+        "pcie_bdw": 64 * GB,
+    },
+    "fast-host-ddr5": {"cpu_mem_bdw": 400 * GB},
+    "small-gpu-24gb": {"gpu_mem_capacity": 24 * GB},
+}
+
+
+@dataclass(frozen=True)
+class WhatIfResult:
+    variant: str
+    throughput: float
+    policy_desc: str
+    attention_on_cpu: bool
+    quantized: bool
+    feasible: bool
+
+
+def run_whatif(
+    workload: Workload,
+    variants: dict[str, dict[str, float]] | None = None,
+    platform: Platform | None = None,
+) -> list[WhatIfResult]:
+    """Plan the best LM-Offload policy under each hardware variant."""
+    platform = platform or single_a100()
+    base_hw = HardwareParams.from_platform(platform)
+    topo = CpuTopology.from_device(platform.cpu)
+    ctx = CpuExecutionContext.pytorch_default(topo, ContentionModel(topo, platform.cache))
+    results: list[WhatIfResult] = []
+    for name, overrides in (variants or HARDWARE_VARIANTS).items():
+        hw = dataclasses.replace(base_hw, **overrides)
+        planner = PolicyPlanner(hw=hw, cpu_ctx=ctx, quant_aware=True)
+        try:
+            policy, tput = planner.search(workload)
+            results.append(
+                WhatIfResult(
+                    variant=name,
+                    throughput=round(tput, 1),
+                    policy_desc=policy.describe(),
+                    attention_on_cpu=policy.attention_on_cpu,
+                    quantized=policy.quantizes_weights or policy.quantizes_kv,
+                    feasible=True,
+                )
+            )
+        except PolicyError:
+            results.append(
+                WhatIfResult(
+                    variant=name, throughput=0.0, policy_desc="(infeasible)",
+                    attention_on_cpu=False, quantized=False, feasible=False,
+                )
+            )
+    return results
+
+
+def whatif_rows(results: list[WhatIfResult]) -> list[dict[str, Any]]:
+    """Table-friendly dict rows."""
+    return [
+        {
+            "variant": r.variant,
+            "tokens_per_s": r.throughput,
+            "attn": "cpu" if r.attention_on_cpu else "gpu",
+            "quant": "yes" if r.quantized else "no",
+            "policy": r.policy_desc,
+        }
+        for r in results
+    ]

@@ -1,0 +1,12 @@
+"""Calibration fitting: tune the engine's effective rates to measurements.
+
+The cost model's accuracy hinges on a handful of effective rates
+(:class:`~repro.perfmodel.constants.EngineCalibration`).  On a new machine
+you would measure a few (workload, policy) -> tokens/s points and fit those
+rates; :func:`fit_calibration` does exactly that with
+:func:`scipy.optimize.least_squares` over log-space multipliers.
+"""
+
+from repro.calibration.fit import CalibrationObservation, FitResult, fit_calibration
+
+__all__ = ["CalibrationObservation", "FitResult", "fit_calibration"]

@@ -1,0 +1,210 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+models            list registered model configurations
+plan              search the best LM-Offload policy for a workload
+run               plan + evaluate one or all engines on a workload
+experiment        regenerate one of the paper's tables/figures
+whatif            hardware sensitivity sweep
+trace             export a Chrome trace of a decode schedule
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.tables import format_table
+
+
+def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--model", default="opt-30b", help="registered model name")
+    parser.add_argument("--prompt-len", type=int, default=64)
+    parser.add_argument("--gen-len", type=int, default=32)
+    parser.add_argument("--batch", type=int, default=64, help="GPU batch size")
+    parser.add_argument("--num-batches", type=int, default=10, help="zig-zag batches")
+
+
+def _workload(args):
+    from repro.models import get_model
+    from repro.perfmodel import Workload
+
+    return Workload(
+        get_model(args.model), args.prompt_len, args.gen_len,
+        args.batch, args.num_batches,
+    )
+
+
+def cmd_models(args) -> int:
+    from repro.models import get_model, list_models
+
+    rows = []
+    for name in list_models():
+        cfg = get_model(name)
+        rows.append(
+            {
+                "name": name,
+                "layers": cfg.num_layers,
+                "h1": cfg.hidden_size,
+                "h2": cfg.intermediate_size,
+                "heads": cfg.num_heads,
+                "params_B": round(cfg.total_weights / 1e9, 2),
+            }
+        )
+    print(format_table(rows, "Registered models"))
+    return 0
+
+
+def cmd_plan(args) -> int:
+    from repro.core import LMOffloadEngine
+    from repro.hardware import single_a100
+    from repro.offload.serialization import policy_to_json
+
+    engine = LMOffloadEngine(single_a100())
+    workload = _workload(args)
+    policy, _, plan = engine.plan(workload)
+    print(f"workload: {workload.describe()}")
+    print(f"policy:   {policy.describe()}")
+    if plan is not None:
+        print(f"threads:  {plan.describe()}")
+    if args.save:
+        with open(args.save, "w", encoding="utf-8") as fh:
+            fh.write(policy_to_json(policy))
+        print(f"policy written to {args.save}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    from repro.baselines import FlexGenEngine, ZeroInferenceEngine
+    from repro.core import LMOffloadEngine
+    from repro.hardware import single_a100
+
+    workload = _workload(args)
+    engines = {
+        "lm-offload": lambda: LMOffloadEngine(single_a100()),
+        "flexgen": lambda: FlexGenEngine(single_a100()),
+        "zero-inference": lambda: ZeroInferenceEngine(single_a100()),
+    }
+    names = list(engines) if args.engine == "all" else [args.engine]
+    rows = []
+    for name in names:
+        report = engines[name]().run(workload)
+        row = report.table_row()
+        row["policy"] = report.policy.describe()
+        rows.append(row)
+    print(format_table(rows, f"{workload.describe()}"))
+    return 0
+
+
+EXPERIMENTS = {
+    "fig3": "run_fig3_quant_strategies",
+    "fig4": "run_fig4_breakdown",
+    "tab1": "run_tab1_io_traffic",
+    "fig5": "run_fig5_parallelism_sweep",
+    "tab3": "run_tab3_overall",
+    "fig7": "run_fig7_effective_quantization",
+    "fig8": "run_fig8_parallelism_control",
+    "tab5": "run_tab5_llc_misses",
+    "fig9": "run_fig9_multigpu",
+}
+
+
+def cmd_experiment(args) -> int:
+    import repro.bench as bench
+
+    runner = getattr(bench, EXPERIMENTS[args.name])
+    result = runner()
+    if isinstance(result, list):
+        print(format_table(result, f"experiment {args.name}"))
+    elif isinstance(result, dict) and all(isinstance(v, list) for v in result.values()):
+        for key, rows in result.items():
+            print(format_table(rows, f"experiment {args.name} [{key}]"))
+    else:
+        import json
+
+        print(json.dumps(result, indent=2, default=str))
+    return 0
+
+
+def cmd_whatif(args) -> int:
+    from repro.bench.whatif import run_whatif, whatif_rows
+
+    workload = _workload(args)
+    rows = whatif_rows(run_whatif(workload))
+    print(format_table(rows, f"what-if: {workload.describe()}"))
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from repro.core import LMOffloadEngine
+    from repro.hardware import single_a100
+    from repro.perfmodel import CostModel
+    from repro.trace import trace_decode_schedule
+
+    workload = _workload(args)
+    engine = LMOffloadEngine(single_a100())
+    policy, ctx, _ = engine.plan(workload)
+    model = CostModel(workload, policy, engine.hw, ctx, engine.config.calibration)
+    tokens = min(args.tokens, workload.gen_len - 1)
+    costs = [model.decode_task_costs(t) for t in range(tokens)]
+    layers = min(args.layers, workload.model.num_layers)
+    builder = trace_decode_schedule(
+        costs, num_layers=layers, num_gpu_batches=policy.num_gpu_batches
+    )
+    builder.save(args.output)
+    print(
+        f"wrote {builder.num_slices} slices ({tokens} tokens x {layers} layers) "
+        f"to {args.output} — open in chrome://tracing or Perfetto"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="LM-Offload reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("models", help="list model configurations").set_defaults(
+        func=cmd_models
+    )
+
+    p = sub.add_parser("plan", help="search the best LM-Offload policy")
+    _add_workload_args(p)
+    p.add_argument("--save", help="write the policy JSON here")
+    p.set_defaults(func=cmd_plan)
+
+    p = sub.add_parser("run", help="evaluate engine(s) on a workload")
+    _add_workload_args(p)
+    p.add_argument(
+        "--engine", default="all",
+        choices=["all", "lm-offload", "flexgen", "zero-inference"],
+    )
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    p.add_argument("name", choices=sorted(EXPERIMENTS))
+    p.set_defaults(func=cmd_experiment)
+
+    p = sub.add_parser("whatif", help="hardware sensitivity sweep")
+    _add_workload_args(p)
+    p.set_defaults(func=cmd_whatif)
+
+    p = sub.add_parser("trace", help="export a Chrome trace of the schedule")
+    _add_workload_args(p)
+    p.add_argument("--tokens", type=int, default=2, help="decode tokens to trace")
+    p.add_argument("--layers", type=int, default=8, help="layers to trace")
+    p.add_argument("--output", default="decode_trace.json")
+    p.set_defaults(func=cmd_trace)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,116 @@
+"""Functional zig-zag block execution (Algorithm 1, for real).
+
+:class:`BlockRunner` generalises :class:`~repro.core.functional.FunctionalEngine`
+to multiple GPU batches: a block of ``num_gpu_batches`` independent batches
+traverses the layers together, with each layer's parameters fetched *once*
+per layer sweep and reused across every batch — exactly the weight-reuse
+amortisation that makes FlexGen's zig-zag schedule worthwhile.  Comparing
+its weight traffic against per-batch sequential execution demonstrates the
+reuse factor numerically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.core.functional import FunctionalEngine, FunctionalRunResult
+from repro.hardware.platform import Platform, small_test_platform
+from repro.models.layers import layer_norm, mlp, self_attention, split_heads
+from repro.models.sampling import greedy_sample
+from repro.models.transformer import KVCache, TransformerWeights
+from repro.offload.policy import OffloadPolicy
+
+
+@dataclass
+class BlockRunner:
+    """Runs ``num_gpu_batches`` batches through the layer sweep together."""
+
+    weights: TransformerWeights
+    policy: OffloadPolicy
+    platform: Platform = field(default_factory=small_test_platform)
+
+    def __post_init__(self) -> None:
+        if self.policy.num_gpu_batches < 1:
+            raise ConfigError("num_gpu_batches must be >= 1")
+        # Reuse FunctionalEngine's placement/transfer machinery.
+        self._engine = FunctionalEngine(
+            weights=self.weights, policy=self.policy, platform=self.platform
+        )
+
+    def _sweep(
+        self, xs: list[np.ndarray], caches: list[KVCache]
+    ) -> list[np.ndarray]:
+        """One pass over all layers; each layer's params fetched once."""
+        cfg = self.weights.config
+        engine = self._engine
+        for li in range(cfg.num_layers):
+            params = engine._layer_params(li)  # one fetch per layer sweep
+            for b, (x, cache) in enumerate(zip(xs, caches)):
+                normed = layer_norm(x, params["ln1_g"], params["ln1_b"])
+                q = split_heads(normed @ params["wq"], cfg.num_heads)
+                k_new = split_heads(normed @ params["wk"], cfg.num_heads)
+                v_new = split_heads(normed @ params["wv"], cfg.num_heads)
+                k_new, v_new = engine._maybe_quantize_kv(k_new, v_new)
+                cache.append(li, k_new, v_new)
+                seen = len(cache) + (
+                    0 if li == cfg.num_layers - 1 else k_new.shape[2]
+                )
+                k, v = cache.get(li, upto=seen)
+                attn = self_attention(q, k, v, causal_mask=True) @ params["wo"]
+                x = x + attn
+                x = x + mlp(
+                    layer_norm(x, params["ln2_g"], params["ln2_b"]),
+                    params["w_in"], params["b_in"],
+                    params["w_out"], params["b_out"],
+                )
+                xs[b] = x
+        return xs
+
+    def generate_block(
+        self, prompt_ids: np.ndarray, gen_len: int
+    ) -> FunctionalRunResult:
+        """Greedy generation for a whole block.
+
+        ``prompt_ids``: (num_gpu_batches * gpu_batch_size, prompt_len).
+        """
+        if gen_len <= 0:
+            raise ConfigError("gen_len must be positive")
+        k = self.policy.num_gpu_batches
+        bsz = self.policy.gpu_batch_size
+        if prompt_ids.shape[0] != k * bsz:
+            raise ConfigError(
+                f"block expects {k * bsz} sequences, got {prompt_ids.shape[0]}"
+            )
+        engine = self._engine
+        cfg = self.weights.config
+        s = prompt_ids.shape[1]
+        batches = [prompt_ids[i * bsz : (i + 1) * bsz] for i in range(k)]
+        caches = [KVCache(cfg, bsz, capacity=s + gen_len) for _ in range(k)]
+        out = np.empty((k * bsz, gen_len), dtype=np.int64)
+
+        embed = engine._fetch("embed")
+        lm_head_name = "lm_head"
+        xs = [embed[b] for b in batches]
+        xs = self._sweep(xs, caches)
+        logits = [x[:, -1, :] @ engine._fetch(lm_head_name) for x in xs]
+        for t in range(gen_len):
+            next_ids = [greedy_sample(lg) for lg in logits]
+            for i, ids in enumerate(next_ids):
+                out[i * bsz : (i + 1) * bsz, t] = ids
+            if t + 1 < gen_len:
+                xs = [embed[ids[:, None]] for ids in next_ids]
+                xs = self._sweep(xs, caches)
+                logits = [x[:, -1, :] @ engine._fetch(lm_head_name) for x in xs]
+
+        traffic = {}
+        for (src, dst, cat), nbytes in engine.transfer.ledger.bytes_moved.items():
+            traffic[cat] = traffic.get(cat, 0.0) + nbytes
+        return FunctionalRunResult(
+            token_ids=out,
+            simulated_seconds=engine._clock,
+            peak_gpu_bytes=engine._peak_gpu,
+            traffic_by_category=traffic,
+        )

@@ -1,0 +1,28 @@
+"""Engine configuration knobs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.perfmodel.constants import EngineCalibration
+from repro.quant.config import QuantConfig
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Feature switches of :class:`~repro.core.engine.LMOffloadEngine`.
+
+    Disabling flags produces the paper's ablations: ``quant_aware=False``
+    degrades the planner to FlexGen's quantization-blind search;
+    ``parallelism_control=False`` falls back to default PyTorch threading
+    (the §5.3 configuration).
+    """
+
+    quant_aware: bool = True
+    parallelism_control: bool = True
+    allow_gpu_attention: bool = True
+    quant: QuantConfig = field(default_factory=lambda: QuantConfig(bits=4, group_size=64))
+    calibration: EngineCalibration = field(
+        default_factory=EngineCalibration.paper_defaults
+    )
+    wg_step: float = 0.05

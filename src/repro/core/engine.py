@@ -1,0 +1,145 @@
+"""LM-Offload engine: model-guided policy + parallelism planning.
+
+Planning is two-pass, mirroring how the paper's pieces compose:
+
+1. a provisional policy search under default threading estimates the I/O
+   volumes each of the five load/store tasks will carry;
+2. Algorithm 3 allocates threads against those volumes and the attention
+   op graph, yielding the controlled CPU execution context;
+3. the quantization-aware policy search re-runs under the controlled
+   context (thread allocation shifts the CPU-attention/GPU trade-off, so
+   placement can change).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import EngineConfig
+from repro.core.report import InferenceReport
+from repro.hardware.platform import Platform
+from repro.offload.planner import PolicyPlanner
+from repro.offload.policy import OffloadPolicy
+from repro.parallel.controller import ParallelismController, ParallelismPlan
+from repro.parallel.profiles import build_default_profiles
+from repro.parallel.speedup import ContentionModel
+from repro.parallel.topology import CpuTopology
+from repro.perfmodel.latency import CostModel, CpuExecutionContext
+from repro.perfmodel.notation import HardwareParams, Workload
+from repro.runtime.graph import build_attention_graph
+
+
+@dataclass
+class LMOffloadEngine:
+    """The full system (paper §5's "LM-Offload" rows)."""
+
+    platform: Platform
+    config: EngineConfig = field(default_factory=EngineConfig)
+    name: str = "lm-offload"
+
+    def __post_init__(self) -> None:
+        self.hw = HardwareParams.from_platform(self.platform)
+        self.topology = CpuTopology.from_device(self.platform.cpu)
+        self.contention = ContentionModel(self.topology, self.platform.cache)
+        self.profiles = build_default_profiles(self.contention)
+
+    # -- contexts ---------------------------------------------------------
+
+    def default_context(self) -> CpuExecutionContext:
+        return CpuExecutionContext.pytorch_default(self.topology, self.contention)
+
+    def _planner(self, ctx: CpuExecutionContext) -> PolicyPlanner:
+        return PolicyPlanner(
+            hw=self.hw,
+            cpu_ctx=ctx,
+            quant_aware=self.config.quant_aware,
+            quant=self.config.quant,
+            wg_step=self.config.wg_step,
+            allow_gpu_attention=self.config.allow_gpu_attention,
+        )
+
+    def _io_volumes(self, workload: Workload, policy: OffloadPolicy) -> dict[str, float]:
+        """Per-decode-step byte volumes of the five I/O tasks."""
+        model = CostModel(
+            workload, policy, self.hw, self.default_context(), self.config.calibration
+        )
+        mid = max(0, (workload.gen_len - 1) // 2)
+        stored = model.kv_store_bytes_per_token()
+        ctx_len = workload.prompt_len + 1 + mid
+        streamed = 0.0 if policy.attention_on_cpu else (1.0 - policy.cg)
+        act = model.fp.activation_bytes_per_layer
+        return {
+            "load_weight": model.offloaded_weight_bytes_per_layer()
+            * workload.model.num_layers,
+            "load_cache": ctx_len * stored * streamed * workload.model.num_layers,
+            "store_cache": stored * streamed * workload.model.num_layers,
+            "load_activation": act * workload.model.num_layers,
+            "store_activation": act * workload.model.num_layers,
+        }
+
+    def plan_parallelism(
+        self, workload: Workload, policy: OffloadPolicy
+    ) -> ParallelismPlan:
+        """Run Algorithm 3 for the given policy's I/O volumes."""
+        iters = workload.model.num_layers * policy.num_gpu_batches
+        # Per-iteration volumes: the controller reasons about one
+        # (layer, batch) schedule step at a time.
+        volumes = {
+            task: vol / iters
+            for task, vol in self._io_volumes(workload, policy).items()
+        }
+        controller = ParallelismController(
+            topology=self.topology,
+            contention=self.contention,
+            profiles=self.profiles,
+            io_volumes=volumes,
+        )
+        graph = build_attention_graph(min(4, max(1, policy.num_gpu_batches)))
+        pcie = self.hw.pcie_bdw * self.config.calibration.pcie_efficiency
+        wire = {task: vol / pcie for task, vol in volumes.items()}
+        return controller.plan(graph, io_wire_seconds=wire)
+
+    # -- the public API ---------------------------------------------------
+
+    def plan(self, workload: Workload) -> tuple[OffloadPolicy, CpuExecutionContext, ParallelismPlan | None]:
+        """Two-pass planning; returns (policy, cpu context, thread plan).
+
+        Pass 2's policy search runs under the controlled *compute*
+        threading but without per-task staging-thread limits (those are a
+        refinement tied to a specific policy's volumes); the final thread
+        plan is then rebuilt for the policy actually chosen.
+        """
+        base_ctx = self.default_context()
+        policy, _ = self._planner(base_ctx).search(workload)
+        if not self.config.parallelism_control:
+            return policy, base_ctx, None
+        plan = self.plan_parallelism(workload, policy)
+        search_ctx = CpuExecutionContext.from_plan(self.topology, self.contention, plan)
+        search_ctx.io_staging_threads = {}
+        policy, _ = self._planner(search_ctx).search(workload)
+        plan = self.plan_parallelism(workload, policy)
+        ctx = CpuExecutionContext.from_plan(self.topology, self.contention, plan)
+        return policy, ctx, plan
+
+    def run(
+        self, workload: Workload, policy: OffloadPolicy | None = None
+    ) -> InferenceReport:
+        """Plan (unless a policy is forced) and evaluate end to end."""
+        if policy is None:
+            policy, ctx, plan = self.plan(workload)
+        else:
+            ctx, plan = self.default_context(), None
+            if self.config.parallelism_control:
+                plan = self.plan_parallelism(workload, policy)
+                ctx = CpuExecutionContext.from_plan(self.topology, self.contention, plan)
+        model = CostModel(workload, policy, self.hw, ctx, self.config.calibration)
+        breakdown = model.breakdown()
+        return InferenceReport(
+            engine=self.name,
+            workload=workload,
+            policy=policy,
+            breakdown=breakdown,
+            gpu_bytes=model.gpu_bytes_required(),
+            cpu_bytes=model.cpu_bytes_required(),
+            parallelism=plan,
+        )

@@ -1,0 +1,55 @@
+"""Exception hierarchy for the LM-Offload reproduction.
+
+All errors raised by this package derive from :class:`ReproError` so that
+callers can catch package failures with a single ``except`` clause while
+letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration was supplied."""
+
+
+class MemoryCapacityError(ReproError):
+    """A simulated memory pool would exceed its capacity.
+
+    Attributes
+    ----------
+    pool:
+        Name of the pool that overflowed.
+    requested:
+        Bytes requested by the failing allocation.
+    available:
+        Bytes that were still free in the pool.
+    """
+
+    def __init__(self, pool: str, requested: int, available: int) -> None:
+        super().__init__(
+            f"memory pool {pool!r}: requested {requested} B "
+            f"but only {available} B available"
+        )
+        self.pool = pool
+        self.requested = requested
+        self.available = available
+
+
+class PlacementError(ReproError):
+    """A tensor operation was attempted on the wrong device."""
+
+
+class ScheduleError(ReproError):
+    """The asynchronous task schedule is malformed (cycle, missing dep...)."""
+
+
+class QuantizationError(ReproError):
+    """Invalid quantization parameters or corrupted packed payload."""
+
+
+class PolicyError(ReproError):
+    """No feasible offloading policy exists for the given constraints."""

@@ -1,0 +1,94 @@
+"""Vectorized NumPy transformer kernels: attention, MLP, layernorm.
+
+These are *real* computations (not cost stubs): the functional engine runs
+tiny models end to end through them, with the KV cache and quantized tensors
+produced by :mod:`repro.quant`.  Shapes follow the usual convention
+
+    hidden:  (batch, seq, h1)
+    heads:   (batch, num_heads, seq, head_dim)
+
+All kernels are pure functions over ``float32`` arrays and avoid Python
+loops over elements (HPC guide: vectorize, use views, mind contiguity).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def layer_norm(x: np.ndarray, gamma: np.ndarray, beta: np.ndarray, eps: float = 1e-5) -> np.ndarray:
+    """LayerNorm over the last axis."""
+    mean = x.mean(axis=-1, keepdims=True)
+    var = x.var(axis=-1, keepdims=True)
+    return (x - mean) / np.sqrt(var + eps) * gamma + beta
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    shifted = x - x.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+def gelu(x: np.ndarray) -> np.ndarray:
+    """Tanh-approximate GELU (matches the OPT/GPT reference kernels)."""
+    return 0.5 * x * (1.0 + np.tanh(np.sqrt(2.0 / np.pi) * (x + 0.044715 * x**3)))
+
+
+def split_heads(x: np.ndarray, num_heads: int) -> np.ndarray:
+    """(batch, seq, h1) -> (batch, heads, seq, head_dim)."""
+    b, s, h1 = x.shape
+    if h1 % num_heads:
+        raise ValueError(f"hidden size {h1} not divisible by {num_heads} heads")
+    return x.reshape(b, s, num_heads, h1 // num_heads).transpose(0, 2, 1, 3)
+
+
+def merge_heads(x: np.ndarray) -> np.ndarray:
+    """(batch, heads, seq, head_dim) -> (batch, seq, h1)."""
+    b, h, s, d = x.shape
+    return np.ascontiguousarray(x.transpose(0, 2, 1, 3)).reshape(b, s, h * d)
+
+
+def attention_scores(
+    q: np.ndarray, k: np.ndarray, causal_mask: bool = True
+) -> np.ndarray:
+    """Scaled dot-product scores ``softmax(QK^T / sqrt(d_k))``.
+
+    ``q``: (batch, heads, q_len, d); ``k``: (batch, heads, k_len, d).
+    When ``causal_mask`` is set, query position ``i`` may attend to key
+    positions ``j <= i + (k_len - q_len)`` — the standard causal alignment
+    for a KV cache holding ``k_len - q_len`` past tokens.
+    """
+    d_k = q.shape[-1]
+    scores = q @ k.swapaxes(-1, -2) / np.sqrt(d_k)
+    if causal_mask:
+        q_len, k_len = q.shape[-2], k.shape[-2]
+        offset = k_len - q_len
+        if offset < 0:
+            raise ValueError("key length must be >= query length under causal mask")
+        j = np.arange(k_len)
+        i = np.arange(q_len)[:, None]
+        mask = j[None, :] > (i + offset)
+        scores = np.where(mask, -np.inf, scores)
+    return softmax(scores, axis=-1)
+
+
+def self_attention(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    causal_mask: bool = True,
+) -> np.ndarray:
+    """Full attention: probabilities times values, merged back to hidden.
+
+    Inputs are head-split tensors; output is (batch, q_len, h1).
+    """
+    probs = attention_scores(q, k, causal_mask=causal_mask)
+    return merge_heads(probs @ v)
+
+
+def mlp(
+    x: np.ndarray, w_in: np.ndarray, b_in: np.ndarray, w_out: np.ndarray, b_out: np.ndarray
+) -> np.ndarray:
+    """Two linear transforms with a GELU in between (paper §2.1)."""
+    return gelu(x @ w_in + b_in) @ w_out + b_out

@@ -1,0 +1,103 @@
+"""Named model registry with the paper's evaluation models.
+
+OPT shapes follow Zhang et al. 2022 (Table 1 of the OPT paper); LLaMA shapes
+follow Touvron et al. 2023.  ``tiny-*`` configs are executable-scale models
+for functional tests and examples.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.models.config import ModelConfig
+
+_REGISTRY: dict[str, ModelConfig] = {}
+
+
+def register_model(config: ModelConfig, *, overwrite: bool = False) -> None:
+    """Add ``config`` under ``config.name``."""
+    if config.name in _REGISTRY and not overwrite:
+        raise ConfigError(f"model {config.name!r} already registered")
+    _REGISTRY[config.name] = config
+
+
+def get_model(name: str) -> ModelConfig:
+    """Look up a registered model by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown model {name!r}; available: {', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+def list_models() -> list[str]:
+    """Sorted names of all registered models."""
+    return sorted(_REGISTRY)
+
+
+def _populate() -> None:
+    # --- OPT family (h2 = 4*h1) -------------------------------------------
+    for name, layers, hidden, heads in [
+        ("opt-1.3b", 24, 2048, 32),
+        ("opt-6.7b", 32, 4096, 32),
+        ("opt-13b", 40, 5120, 40),
+        ("opt-30b", 48, 7168, 56),
+        ("opt-66b", 64, 9216, 72),
+    ]:
+        register_model(
+            ModelConfig(
+                name=name,
+                num_layers=layers,
+                hidden_size=hidden,
+                intermediate_size=4 * hidden,
+                num_heads=heads,
+                vocab_size=50272,
+            )
+        )
+    # --- LLaMA family ------------------------------------------------------
+    # LLaMA's SwiGLU MLP has *three* h1 x h2 matrices; the paper's
+    # two-matrix accounting (num_weights = 4*h1^2 + 2*h1*h2) absorbs the
+    # third by using an effective intermediate size of 1.5x the released
+    # one, which lands each model on its true parameter count.
+    for name, layers, hidden, inter, heads in [
+        ("llama-7b", 32, 4096, 11008, 32),
+        ("llama-13b", 40, 5120, 13824, 40),
+        ("llama-30b", 60, 6656, 17920, 52),
+        ("llama-65b", 80, 8192, 22016, 64),
+    ]:
+        register_model(
+            ModelConfig(
+                name=name,
+                num_layers=layers,
+                hidden_size=hidden,
+                intermediate_size=inter * 3 // 2,
+                num_heads=heads,
+                vocab_size=32000,
+            )
+        )
+    # --- tiny executable models for tests/examples ------------------------
+    register_model(
+        ModelConfig(
+            name="tiny-2l",
+            num_layers=2,
+            hidden_size=64,
+            intermediate_size=256,
+            num_heads=4,
+            vocab_size=260,
+            dtype="fp32",
+        )
+    )
+    register_model(
+        ModelConfig(
+            name="tiny-4l",
+            num_layers=4,
+            hidden_size=128,
+            intermediate_size=512,
+            num_heads=8,
+            vocab_size=260,
+            dtype="fp32",
+        )
+    )
+
+
+_populate()

@@ -1,0 +1,42 @@
+"""A deterministic byte-level tokenizer for examples and tests.
+
+The paper's experiments use synthetic prompts of a fixed token length; the
+actual text is irrelevant to throughput.  This tokenizer exists so the
+examples can run *real text* through the tiny executable models without any
+external vocabulary files.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class ByteTokenizer:
+    """Maps UTF-8 bytes to ids 0..255; ids >= 256 are reserved specials."""
+
+    PAD = 256
+    BOS = 257
+    EOS = 258
+    VOCAB_SIZE = 259
+
+    def encode(self, text: str, *, add_bos: bool = True) -> np.ndarray:
+        """Text -> 1-D int64 id array."""
+        ids = list(text.encode("utf-8"))
+        if add_bos:
+            ids = [self.BOS] + ids
+        return np.asarray(ids, dtype=np.int64)
+
+    def decode(self, ids: np.ndarray) -> str:
+        """Id array -> text, skipping special tokens and invalid bytes."""
+        payload = bytes(int(i) for i in np.asarray(ids).ravel() if 0 <= int(i) < 256)
+        return payload.decode("utf-8", errors="replace")
+
+    def encode_batch(self, texts: list[str], length: int) -> np.ndarray:
+        """Encode and left-pad/truncate to a fixed ``length`` (batch, length)."""
+        if length <= 0:
+            raise ValueError("length must be > 0")
+        out = np.full((len(texts), length), self.PAD, dtype=np.int64)
+        for row, text in enumerate(texts):
+            ids = self.encode(text)[:length]
+            out[row, length - len(ids):] = ids
+        return out

@@ -1,0 +1,9 @@
+"""Multi-GPU pipeline parallelism (paper §5.5, Figure 9)."""
+
+from repro.multigpu.pipeline_parallel import (
+    PipelineParallelRunner,
+    PipelineReport,
+    weak_scaling_sweep,
+)
+
+__all__ = ["PipelineParallelRunner", "PipelineReport", "weak_scaling_sweep"]

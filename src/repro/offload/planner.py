@@ -1,0 +1,316 @@
+"""Offloading policy search (FlexGen-style LP + grid, paper §2.2).
+
+FlexGen formulates placement as a linear program: the six task times are
+(piecewise) linear in the placement fractions ``wg``/``cg``/``hg``, the
+objective is the overlapped max (Eq. 2), and GPU/CPU memory capacities are
+linear constraints.  :class:`PolicyPlanner` implements:
+
+* :meth:`lp_placement` — the LP relaxation via :func:`scipy.optimize.linprog`
+  for a fixed (attention placement, quantization) choice;
+* :meth:`search` — enumerate the discrete choices (attention placement x
+  quantization menu when ``quant_aware``), solve/grid each, validate with
+  the *true* cost model, and return the best feasible policy.
+
+The FlexGen baseline uses ``quant_aware=False`` (it has no model of
+quantization cost/benefit, per the paper's critique); LM-Offload uses
+``quant_aware=True``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.errors import PolicyError
+from repro.offload.policy import OffloadPolicy
+from repro.perfmodel.latency import CostModel, CpuExecutionContext
+from repro.perfmodel.notation import HardwareParams, Workload
+from repro.quant.config import QuantConfig
+
+
+class PlannerObjective(enum.Enum):
+    """What the search maximises.
+
+    THROUGHPUT — tokens/s for the whole block (the paper's offline
+    setting).  LATENCY — minimise per-token decode latency for one batch
+    (interactive serving: prefer small blocks and GPU residency even when
+    that wastes aggregate throughput).
+    """
+
+    THROUGHPUT = "throughput"
+    LATENCY = "latency"
+
+
+@dataclass
+class PolicyPlanner:
+    """Searches placement/quantization for a workload on given hardware.
+
+    Parameters
+    ----------
+    hw:
+        Hardware rates and capacities.
+    cpu_ctx:
+        CPU execution context used to cost candidate policies.
+    quant_aware:
+        Whether the search may choose quantization (LM-Offload) or must
+        leave tensors uncompressed (FlexGen's model-blind search).
+    quant:
+        The quantizer considered when ``quant_aware``.
+    wg_step:
+        Grid resolution for the weights-on-GPU fraction.
+    """
+
+    hw: HardwareParams
+    cpu_ctx: CpuExecutionContext
+    quant_aware: bool = True
+    quant: QuantConfig = field(default_factory=lambda: QuantConfig(bits=4, group_size=64))
+    wg_step: float = 0.05
+    allow_gpu_attention: bool = True
+    objective: PlannerObjective = PlannerObjective.THROUGHPUT
+
+    # -- quantization menu ---------------------------------------------------
+
+    def _quant_menu(self) -> list[tuple[QuantConfig | None, QuantConfig | None]]:
+        if not self.quant_aware:
+            return [(None, None)]
+        q = self.quant
+        return [(None, None), (q, None), (None, q), (q, q)]
+
+    def _attention_menu(self) -> list[bool]:
+        return [True, False] if self.allow_gpu_attention else [True]
+
+    # -- LP relaxation ---------------------------------------------------------
+
+    def lp_placement(
+        self,
+        workload: Workload,
+        template: OffloadPolicy,
+    ) -> tuple[float, float, float]:
+        """Solve the placement LP for a fixed discrete configuration.
+
+        Variables ``x = (wg, cg, hg, t)``; minimise ``t`` subject to
+        ``t >= h2d(x)``, ``t >= d2h(x)``, ``t >= compute`` and the two
+        memory capacities, with coefficients extracted from the cost model
+        by finite differencing (the model is linear in each fraction, so
+        two evaluations per variable recover the exact coefficients).
+
+        Returns the relaxed ``(wg, cg, hg)``.
+        """
+        base = dict(wg=0.0, cg=0.0, hg=0.0)
+
+        def probe(**kw) -> CostModel:
+            pol = template.with_(**{**base, **kw})
+            return CostModel(workload, pol, self.hw, self.cpu_ctx)
+
+        mid_token = max(0, (workload.gen_len - 1) // 2)
+
+        def task_vec(model: CostModel) -> np.ndarray:
+            c = model.decode_task_costs(mid_token)
+            h2d = c.load_weight + c.load_cache + c.load_activation
+            d2h = c.store_cache + c.store_activation
+            return np.array([h2d, d2h, c.compute])
+
+        def mem_vec(model: CostModel) -> np.ndarray:
+            return np.array([model.gpu_bytes_required(), model.cpu_bytes_required()])
+
+        if template.attention_on_cpu:
+            # cg is pinned to 0 by the policy invariant.
+            names = ["wg", "hg"]
+        else:
+            names = ["wg", "cg", "hg"]
+        m0 = probe()
+        t0, g0 = task_vec(m0), mem_vec(m0)
+        t_cols, g_cols = [], []
+        for name in names:
+            m1 = probe(**{name: 1.0})
+            t_cols.append(task_vec(m1) - t0)
+            g_cols.append(mem_vec(m1) - g0)
+        t_mat = np.column_stack(t_cols)  # (3, nvars)
+        g_mat = np.column_stack(g_cols)  # (2, nvars)
+
+        nvars = len(names)
+        # Decision vector: [fractions..., t]; minimise t.
+        c = np.zeros(nvars + 1)
+        c[-1] = 1.0
+        # t >= t0 + t_mat @ x  ->  t_mat @ x - t <= -t0
+        a_ub = np.hstack([t_mat, -np.ones((3, 1))])
+        b_ub = -t0
+        # memory: g0 + g_mat @ x <= cap
+        caps = np.array([self.hw.gpu_mem_capacity, self.hw.cpu_mem_capacity])
+        a_ub = np.vstack([a_ub, np.hstack([g_mat, np.zeros((2, 1))])])
+        b_ub = np.concatenate([b_ub, caps - g0])
+        bounds = [(0.0, 1.0)] * nvars + [(0.0, None)]
+        res = linprog(c, A_ub=a_ub, b_ub=b_ub, bounds=bounds, method="highs")
+        if not res.success:
+            raise PolicyError(f"placement LP infeasible: {res.message}")
+        values = dict(zip(names, res.x[:nvars]))
+        return (
+            float(values.get("wg", 0.0)),
+            float(values.get("cg", 0.0)),
+            float(values.get("hg", 0.0)),
+        )
+
+    # -- grid + validation ---------------------------------------------------
+
+    def _candidate_fractions(
+        self, workload: Workload, template: OffloadPolicy
+    ) -> Iterable[tuple[float, float, float]]:
+        """LP solution, its grid-snapped neighbours, and a coarse wg grid."""
+        seen: set[tuple[float, float, float]] = set()
+        try:
+            wg, cg, hg = self.lp_placement(workload, template)
+            for dwg in (-self.wg_step, 0.0, self.wg_step):
+                cand = (
+                    float(np.clip(round((wg + dwg) / self.wg_step) * self.wg_step, 0, 1)),
+                    round(cg, 2),
+                    1.0 if hg >= 0.5 else 0.0,
+                )
+                if cand not in seen:
+                    seen.add(cand)
+                    yield cand
+        except PolicyError:
+            pass
+        for wg in np.arange(0.0, 1.0 + 1e-9, self.wg_step):
+            for hg in (0.0, 1.0):
+                cgs = (0.0,) if template.attention_on_cpu else (0.0, 0.25, 0.5, 1.0)
+                for cg in cgs:
+                    cand = (round(float(wg), 2), cg, hg)
+                    if cand not in seen:
+                        seen.add(cand)
+                        yield cand
+
+    def evaluate(
+        self, workload: Workload, policy: OffloadPolicy
+    ) -> tuple[float, CostModel]:
+        """Objective score of a policy (raises PolicyError when infeasible).
+
+        THROUGHPUT returns tokens/s; LATENCY returns the negative
+        steady-state per-token decode latency (so 'bigger is better' holds
+        for both objectives).
+        """
+        model = CostModel(workload, policy, self.hw, self.cpu_ctx)
+        model.check_feasible()
+        if self.objective is PlannerObjective.LATENCY:
+            mid = model.decode_task_costs(max(0, (workload.gen_len - 1) // 2))
+            iters = workload.model.num_layers * policy.num_gpu_batches
+            return -model.step_seconds(mid) * iters, model
+        return model.breakdown().throughput(workload), model
+
+    def search_batch_geometry(
+        self,
+        workload: Workload,
+        batch_candidates: Iterable[int] = (4, 8, 16, 32, 64, 128, 256),
+        num_batch_candidates: Iterable[int] = (1, 2, 4, 8, 12),
+    ) -> tuple[OffloadPolicy, Workload, float]:
+        """Jointly search placement *and* batch geometry.
+
+        FlexGen's full policy search includes the block shape; this method
+        sweeps (gpu_batch_size, num_gpu_batches) and runs :meth:`search`
+        for each, returning the best (policy, reshaped workload, score).
+        """
+        best: tuple[float, OffloadPolicy, Workload] | None = None
+        for bsz in batch_candidates:
+            for k in num_batch_candidates:
+                trial = workload.with_batches(bsz, k)
+                try:
+                    policy, score = self.search(trial)
+                except PolicyError:
+                    continue
+                if best is None or score > best[0]:
+                    best = (score, policy, trial)
+        if best is None:
+            raise PolicyError(
+                f"no feasible batch geometry for {workload.model.name}"
+            )
+        return best[1], best[2], best[0]
+
+    def search_fixed(
+        self,
+        workload: Workload,
+        attention_on_cpu: bool,
+        weight_quant: QuantConfig | None,
+        kv_quant: QuantConfig | None,
+    ) -> tuple[OffloadPolicy, float]:
+        """Best placement fractions for one fixed discrete strategy."""
+        template = OffloadPolicy(
+            wg=0.0,
+            cg=0.0,
+            hg=0.0,
+            attention_on_cpu=attention_on_cpu,
+            weight_quant=weight_quant,
+            kv_quant=kv_quant,
+            gpu_batch_size=workload.gpu_batch_size,
+            num_gpu_batches=workload.num_gpu_batches,
+        )
+        best: tuple[float, OffloadPolicy] | None = None
+        for wg, cg, hg in self._candidate_fractions(workload, template):
+            score: float | None = None
+            policy = template.with_(wg=wg, cg=cg, hg=hg)
+            try:
+                score, _ = self.evaluate(workload, policy)
+            except PolicyError:
+                # Host memory may be the binding constraint: retry with
+                # part/all of the offloaded weights spilled to disk
+                # (FlexGen's third tier).
+                for spill in (0.5, 1.0):
+                    try:
+                        policy = template.with_(
+                            wg=wg, cg=cg, hg=hg, wd=round((1.0 - wg) * spill, 4)
+                        )
+                        score, _ = self.evaluate(workload, policy)
+                        break
+                    except PolicyError:
+                        continue
+            if score is not None and (best is None or score > best[0]):
+                best = (score, policy)
+        if best is None:
+            raise PolicyError(
+                f"no feasible placement for {workload.describe()} under "
+                f"attn={'cpu' if attention_on_cpu else 'gpu'}"
+            )
+        return best[1], best[0]
+
+    def search(self, workload: Workload) -> tuple[OffloadPolicy, float]:
+        """Best feasible policy for ``workload`` and its modelled tput."""
+        best: tuple[float, OffloadPolicy] | None = None
+        for attn_cpu in self._attention_menu():
+            for wq, kq in self._quant_menu():
+                if attn_cpu and kq is not None:
+                    # KV never crosses the interconnect: quantizing it only
+                    # costs time (Observation 1); skip.
+                    continue
+                try:
+                    policy, tput = self.search_fixed(workload, attn_cpu, wq, kq)
+                except PolicyError:
+                    continue
+                if best is None or tput > best[0]:
+                    best = (tput, policy)
+        if best is None:
+            raise PolicyError(
+                f"no feasible policy for {workload.describe()} on this hardware"
+            )
+        return best[1], best[0]
+
+    def max_feasible_batch(
+        self,
+        workload: Workload,
+        policy_for: Callable[[Workload], OffloadPolicy],
+        candidates: Iterable[int],
+    ) -> int:
+        """Largest batch size from ``candidates`` whose policy fits memory."""
+        best = 0
+        for bsz in sorted(candidates):
+            trial = workload.with_batches(bsz, workload.num_gpu_batches)
+            try:
+                model = CostModel(trial, policy_for(trial), self.hw, self.cpu_ctx)
+                model.check_feasible()
+                best = bsz
+            except PolicyError:
+                continue
+        if best == 0:
+            raise PolicyError("no candidate batch size fits in memory")
+        return best

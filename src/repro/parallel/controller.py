@@ -1,0 +1,257 @@
+"""Algorithm 3: thread-level parallelism management.
+
+The controller decides, for the decode phase:
+
+* ``intra_op`` threads for compute-task operators (one shared value — the
+  paper applies the same intra-op parallelism to all compute ops to avoid
+  cache misses from reconfiguration and scheduling overhead);
+* ``inter_op`` slots for the compute task, estimated from the max
+  concurrency level of the (bundled) op dependency graph via Kahn's
+  algorithm, capped so at least five threads remain;
+* a thread budget for each of the five load/store tasks, proportional to
+  its data-transfer volume.
+
+The throughput estimate uses *offline profiles* (``ProfileTable``) for
+compute ops plus interconnect-derived times for the I/O tasks — no online
+measurement, exactly as §4.2 prescribes.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError, ScheduleError
+from repro.parallel.bundling import bundle_operators
+from repro.parallel.profiles import ProfileTable
+from repro.parallel.speedup import ContentionModel, ParallelismSetting
+from repro.parallel.topology import CpuTopology
+from repro.runtime.graph import OpGraph, max_concurrency
+
+#: The five I/O tasks that must always keep a thread available (Alg. 3
+#: reserves >= 5 free threads for them).
+IO_TASKS = (
+    "load_weight",
+    "load_cache",
+    "load_activation",
+    "store_cache",
+    "store_activation",
+)
+
+
+@dataclass(frozen=True)
+class ParallelismPlan:
+    """The controller's output: a full thread assignment."""
+
+    compute: ParallelismSetting
+    io_threads: dict[str, int]
+    inter_op_total: int
+    predicted_compute_seconds: float
+    predicted_step_seconds: float
+
+    @property
+    def total_compute_threads(self) -> int:
+        return self.compute.total_threads
+
+    def describe(self) -> str:
+        io = " ".join(f"{k.split('_')[0]}_{k.split('_')[1][:3]}={v}" for k, v in sorted(self.io_threads.items()))
+        return (
+            f"intra={self.compute.intra_op} inter={self.compute.inter_op} "
+            f"(+5 io => inter_total={self.inter_op_total}) [{io}]"
+        )
+
+
+def schedule_makespan(
+    graph: OpGraph,
+    slots: int,
+    op_seconds,
+) -> float:
+    """Greedy list-schedule of ``graph`` onto ``slots`` parallel executors.
+
+    ``op_seconds(node_name) -> float`` gives each op's execution time
+    (already contention-adjusted).  Returns the makespan.  This is the
+    "estimate execution time" step Algorithm 3 performs per candidate
+    setting.
+    """
+    if slots < 1:
+        raise ConfigError("slots must be >= 1")
+    graph.validate()
+    g = graph.networkx()
+    indegree = {n: g.in_degree(n) for n in g.nodes}
+    ready = sorted(n for n, d in indegree.items() if d == 0)
+    # Min-heaps: executors by free time, running ops by completion time.
+    executors = [0.0] * slots
+    heapq.heapify(executors)
+    running: list[tuple[float, str]] = []
+    finished = 0
+    clock = 0.0
+    while ready or running:
+        while ready:
+            name = ready.pop(0)
+            start = max(heapq.heappop(executors), clock)
+            end = start + op_seconds(name)
+            heapq.heappush(executors, end)
+            heapq.heappush(running, (end, name))
+        if not running:
+            break
+        clock, done = heapq.heappop(running)
+        finished += 1
+        newly = []
+        for succ in g.successors(done):
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                newly.append(succ)
+        ready.extend(sorted(newly))
+    if finished != graph.num_ops:
+        raise ScheduleError("schedule did not complete every op")
+    return max(clock, max(executors))
+
+
+@dataclass
+class ParallelismController:
+    """Searches (intra, inter) per Algorithm 3.
+
+    Parameters
+    ----------
+    topology:
+        The CPU being divided.
+    contention:
+        Mechanism model used for co-runner adjustments.
+    profiles:
+        Offline per-op profile table.
+    io_wire_seconds:
+        Pure interconnect time of each I/O task for one decode step (its
+        lower bound, reached with enough staging threads).
+    io_volumes:
+        Bytes each I/O task moves per decode step (drives the proportional
+        thread split).
+    staging_bw_per_thread:
+        Host-side bytes/s one staging thread can feed into the DMA engine
+        (memcpy into pinned buffers + (de)quantization work).
+    reserve_io_threads:
+        Minimum free threads (Alg. 3 uses 5, one per I/O task).
+    bundle_small_ops:
+        Fuse small operators before the concurrency analysis (§1).
+    """
+
+    topology: CpuTopology
+    contention: ContentionModel
+    profiles: ProfileTable
+    io_volumes: dict[str, float] = field(default_factory=dict)
+    staging_bw_per_thread: float = 6e9
+    reserve_io_threads: int = 5
+    bundle_small_ops: bool = True
+
+    def io_task_seconds(self, task: str, threads: int, wire_seconds: float) -> float:
+        """Effective I/O task time: max of wire time and host staging time."""
+        volume = self.io_volumes.get(task, 0.0)
+        if volume <= 0:
+            return wire_seconds
+        staging = volume / (self.staging_bw_per_thread * max(1, threads))
+        return max(wire_seconds, staging)
+
+    def split_io_threads(self, free_threads: int) -> dict[str, int]:
+        """Volume-proportional thread assignment (>=1 each) to the 5 tasks."""
+        if free_threads < len(IO_TASKS):
+            raise ConfigError(
+                f"need >= {len(IO_TASKS)} free threads, got {free_threads}"
+            )
+        volumes = {t: max(self.io_volumes.get(t, 0.0), 0.0) for t in IO_TASKS}
+        total = sum(volumes.values())
+        out = {t: 1 for t in IO_TASKS}
+        remaining = free_threads - len(IO_TASKS)
+        if total > 0 and remaining > 0:
+            # Largest-remainder apportionment of the leftover threads.
+            quotas = {t: remaining * v / total for t, v in volumes.items()}
+            floors = {t: int(q) for t, q in quotas.items()}
+            for t, f in floors.items():
+                out[t] += f
+            leftover = remaining - sum(floors.values())
+            by_frac = sorted(
+                IO_TASKS, key=lambda t: quotas[t] - floors[t], reverse=True
+            )
+            for t in by_frac[:leftover]:
+                out[t] += 1
+        return out
+
+    def plan(
+        self,
+        graph: OpGraph,
+        io_wire_seconds: dict[str, float] | None = None,
+        max_intra: int | None = None,
+    ) -> ParallelismPlan:
+        """Run Algorithm 3 and return the best thread assignment found."""
+        wire = {t: 0.0 for t in IO_TASKS}
+        if io_wire_seconds:
+            wire.update(io_wire_seconds)
+        work_graph = graph
+        if self.bundle_small_ops:
+            work_graph, _ = bundle_operators(graph)
+        width = max_concurrency(work_graph)
+        max_thrs = self.topology.hardware_threads
+        hi = min(max_intra or max_thrs, max_thrs - self.reserve_io_threads)
+
+        best: ParallelismPlan | None = None
+        for intra in range(1, hi + 1):
+            # Inter-op from the Kahn max-concurrency level, capped so the
+            # compute gang leaves the reserved I/O threads free (Line 3-7).
+            inter = min(width, (max_thrs - self.reserve_io_threads) // intra)
+            if inter < 1:
+                continue
+            free = max_thrs - inter * intra
+            if free < self.reserve_io_threads:
+                continue
+            setting = ParallelismSetting(intra_op=intra, inter_op=inter)
+            compute_s = self.compute_seconds(work_graph, setting)
+            io_threads = self.split_io_threads(free)
+            io_s = {
+                t: self.io_task_seconds(t, io_threads[t], wire[t]) for t in IO_TASKS
+            }
+            # The six tasks overlap (Eq. 2): the decode step costs the max.
+            step = max(compute_s, *io_s.values())
+            # Lexicographic preference: minimise the overlapped step time,
+            # then the compute task itself (ties are common when an I/O
+            # task is the bottleneck regardless of threading).
+            if best is None or (step, compute_s) < (
+                best.predicted_step_seconds,
+                best.predicted_compute_seconds,
+            ):
+                best = ParallelismPlan(
+                    compute=setting,
+                    io_threads=io_threads,
+                    inter_op_total=inter + len(IO_TASKS),
+                    predicted_compute_seconds=compute_s,
+                    predicted_step_seconds=step,
+                )
+        if best is None:
+            raise ConfigError("no feasible parallelism setting exists")
+        return best
+
+    #: Seconds of serial execution per unit of OpNode.work.  The default is
+    #: calibrated so a work-1.0 projection op matches the q_proj profile.
+    unit_work_seconds: float = 3.0e-3
+
+    def compute_seconds(self, graph: OpGraph, setting: ParallelismSetting) -> float:
+        """Contention-adjusted makespan of the compute task under ``setting``.
+
+        Per-op times combine (a) the *offline profiled* intra-op scaling of
+        the op's kind with (b) the contention model's co-runner adjustments
+        (granted threads, oversubscription thrash, LLC slowdown) — the
+        online step never measures anything, per §4.2.
+        """
+        co = min(setting.inter_op, max_concurrency(graph))
+
+        def op_time(name: str) -> float:
+            node = graph.node(name)
+            # The offline profile supplies the op's serial time; the
+            # contention model adjusts for co-runners (fair-shared threads,
+            # bandwidth split, LLC thrash).  The speedup path is identical
+            # to CpuExecutionContext.parallel_efficiency so the controller
+            # optimises exactly the metric the engine later runs under.
+            serial = node.work * self.unit_work_seconds
+            speedup = self.contention.effective_op_speedup(
+                setting, co, op_bytes=node.bytes_touched or 4e6
+            )
+            return serial / speedup
+
+        return schedule_makespan(graph, setting.inter_op, op_time)

@@ -1,0 +1,99 @@
+"""Last-level-cache miss estimation (paper Table 5).
+
+The paper measures LLC misses with hardware counters under (a) default
+PyTorch threading and (b) LM-Offload's controlled threading, observing a
+~38 % reduction in both load and store misses.  The mechanism: the default
+setting co-schedules many fine-grained operators, each with dozens of
+threads, so the combined working set and per-thread streaming footprints
+thrash the shared LLC; the controlled setting co-runs fewer, bundled ops
+with small gangs.
+
+:class:`LLCModel` turns a threading setting plus per-step traffic volumes
+into estimated miss counts using the platform's
+:class:`~repro.hardware.cache.CacheHierarchy`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.cache import CacheHierarchy
+from repro.parallel.speedup import CalibrationConstants, ParallelismSetting
+
+
+@dataclass(frozen=True)
+class LLCMissReport:
+    """Estimated LLC miss counts for one inference run."""
+
+    load_misses: float
+    store_misses: float
+
+    @property
+    def total(self) -> float:
+        return self.load_misses + self.store_misses
+
+    def reduction_vs(self, other: "LLCMissReport") -> float:
+        """Fractional reduction of total misses relative to ``other``."""
+        if other.total == 0:
+            raise ValueError("baseline report has zero misses")
+        return 1.0 - self.total / other.total
+
+
+@dataclass
+class LLCModel:
+    """Working-set-pressure LLC miss estimator.
+
+    Parameters
+    ----------
+    cache:
+        The socket's cache hierarchy.
+    op_tile_bytes:
+        Resident tile of one scheduled operator.
+    store_rfo_factor:
+        Stores cost extra misses via read-for-ownership; hardware counters
+        on the paper's platform show store misses ~1.9x load misses.
+    constants:
+        Shares ``op_stream_bytes`` with the speedup model so the two views
+        of contention stay consistent.
+    """
+
+    cache: CacheHierarchy
+    op_tile_bytes: float = 2 * 1024 * 1024
+    store_rfo_factor: float = 1.9
+    constants: CalibrationConstants = CalibrationConstants()
+
+    def pressure_working_set(self, setting: ParallelismSetting, co_running_ops: int) -> float:
+        """Combined LLC-resident footprint of everything running at once."""
+        total_threads = co_running_ops * setting.intra_op
+        return (
+            co_running_ops * self.op_tile_bytes
+            + total_threads * self.constants.op_stream_bytes
+        )
+
+    def miss_ratio(self, setting: ParallelismSetting, co_running_ops: int) -> float:
+        """Effective miss ratio under ``setting``."""
+        if co_running_ops < 1:
+            raise ValueError("co_running_ops must be >= 1")
+        ws = self.pressure_working_set(setting, co_running_ops)
+        return self.cache.miss_ratio(ws, 1)
+
+    def estimate(
+        self,
+        setting: ParallelismSetting,
+        co_running_ops: int,
+        load_traffic: float,
+        store_traffic: float,
+    ) -> LLCMissReport:
+        """Miss counts for ``load_traffic``/``store_traffic`` bytes."""
+        if load_traffic < 0 or store_traffic < 0:
+            raise ValueError("traffic must be non-negative")
+        ratio = self.miss_ratio(setting, co_running_ops)
+        line = self.cache.line_bytes
+        # Store misses are not capped at one per line: a missing store
+        # costs a read-for-ownership *and* a later writeback eviction, so
+        # the counter the paper reads exceeds the line count (Table 5's
+        # store misses are ~1.9x its load misses on identical traffic).
+        return LLCMissReport(
+            load_misses=load_traffic / line * ratio,
+            store_misses=store_traffic / line * ratio * self.store_rfo_factor,
+        )

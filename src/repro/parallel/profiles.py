@@ -1,0 +1,98 @@
+"""Offline operator profiles (paper §4.2, last paragraph).
+
+The paper avoids measuring operator times during inference: it profiles
+each compute-task operator once, offline, across intra-op thread counts,
+and reuses that table online.  We reproduce the same structure —
+:class:`ProfileTable` maps ``(op kind, threads) -> seconds`` — and provide
+:func:`build_default_profiles`, which generates the table from the
+contention model (playing the role of the offline measurement run).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.parallel.speedup import ContentionModel
+
+
+@dataclass(frozen=True)
+class OpProfile:
+    """Serial execution characteristics of one operator kind.
+
+    ``serial_seconds`` is the single-thread time for one invocation at the
+    profiled workload shape; ``compute_fraction`` steers the speedup blend
+    (GEMM-ish ops scale further than bandwidth-bound ones).
+    """
+
+    kind: str
+    serial_seconds: float
+    compute_fraction: float = 0.25
+    bytes_touched: float = 4 * 1024 * 1024
+
+    def __post_init__(self) -> None:
+        if self.serial_seconds <= 0:
+            raise ConfigError(f"profile {self.kind}: serial_seconds must be > 0")
+
+
+@dataclass
+class ProfileTable:
+    """``(kind, threads) -> seconds`` lookup built by offline profiling."""
+
+    entries: dict[tuple[str, int], float] = field(default_factory=dict)
+    profiles: dict[str, OpProfile] = field(default_factory=dict)
+
+    def record(self, kind: str, threads: int, seconds: float) -> None:
+        if seconds <= 0:
+            raise ConfigError("profiled seconds must be > 0")
+        self.entries[(kind, threads)] = seconds
+
+    def lookup(self, kind: str, threads: int) -> float:
+        """Profiled time; falls back to the nearest profiled thread count
+        (profiling enumerates a subset of counts, like real sweeps do)."""
+        if (kind, threads) in self.entries:
+            return self.entries[(kind, threads)]
+        candidates = [t for (k, t) in self.entries if k == kind]
+        if not candidates:
+            raise KeyError(f"no profile for op kind {kind!r}")
+        nearest = min(candidates, key=lambda t: (abs(t - threads), t))
+        return self.entries[(kind, nearest)]
+
+    def kinds(self) -> list[str]:
+        return sorted({k for (k, _) in self.entries})
+
+
+#: Serial times (seconds) of the decode-attention operators for the paper's
+#: motivating shape (OPT-30B, gpu_batch 64).  Magnitudes are derived from
+#: the op FLOP/byte counts on the Xeon 6330; only ratios matter for the
+#: controller's decisions.
+DEFAULT_OP_PROFILES: dict[str, OpProfile] = {
+    "q_proj": OpProfile("q_proj", 3.0e-3, compute_fraction=0.55),
+    "k_proj": OpProfile("k_proj", 3.0e-3, compute_fraction=0.55),
+    "v_proj": OpProfile("v_proj", 3.0e-3, compute_fraction=0.55),
+    "concat_kv": OpProfile("concat_kv", 4.0e-4, compute_fraction=0.05),
+    "scores": OpProfile("scores", 6.0e-3, compute_fraction=0.15,
+                        bytes_touched=8 * 1024 * 1024),
+    "softmax": OpProfile("softmax", 1.5e-3, compute_fraction=0.10),
+    "context": OpProfile("context", 6.0e-3, compute_fraction=0.15,
+                         bytes_touched=8 * 1024 * 1024),
+    "out_proj": OpProfile("out_proj", 3.0e-3, compute_fraction=0.55),
+    "generic": OpProfile("generic", 1.0e-3, compute_fraction=0.25),
+}
+
+
+def build_default_profiles(
+    model: ContentionModel,
+    thread_counts: list[int] | None = None,
+    profiles: dict[str, OpProfile] | None = None,
+) -> ProfileTable:
+    """Run the 'offline profiling' pass: evaluate each op kind at each
+    thread count in isolation (co_runners=1, no contention) and tabulate."""
+    counts = thread_counts or [1, 2, 4, 8, 12, 16, 24, 32, 48, 56, 64, 96, 112]
+    profs = profiles or DEFAULT_OP_PROFILES
+    table = ProfileTable(profiles=dict(profs))
+    for prof in profs.values():
+        for t in counts:
+            speedup = model.intra_speedup(t, prof.compute_fraction)
+            table.record(prof.kind, t, prof.serial_seconds / speedup)
+    return table

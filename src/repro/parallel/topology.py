@@ -1,0 +1,55 @@
+"""CPU topology: sockets, cores, SMT — the resource Algorithm 3 divides."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.hardware.device import DeviceSpec
+
+
+@dataclass(frozen=True)
+class CpuTopology:
+    """Physical layout of the CPU the parallelism controller manages.
+
+    The paper's single-GPU platform: 2 sockets x 28 cores x 2 SMT =
+    112 hardware threads, 56 physical cores.
+    """
+
+    sockets: int
+    cores_per_socket: int
+    smt: int = 2
+
+    def __post_init__(self) -> None:
+        if self.sockets <= 0 or self.cores_per_socket <= 0 or self.smt <= 0:
+            raise ConfigError("topology: all dimensions must be positive")
+
+    @property
+    def physical_cores(self) -> int:
+        return self.sockets * self.cores_per_socket
+
+    @property
+    def hardware_threads(self) -> int:
+        return self.physical_cores * self.smt
+
+    def crosses_socket(self, threads: int) -> bool:
+        """True if a gang of ``threads`` must span more than one socket
+        (first-touch placement fills one socket before spilling)."""
+        return threads > self.cores_per_socket * self.smt
+
+    def oversubscribed(self, threads: int) -> bool:
+        """More software threads than hardware threads."""
+        return threads > self.hardware_threads
+
+    @classmethod
+    def from_device(cls, cpu: DeviceSpec) -> "CpuTopology":
+        """Derive the topology from a platform CPU spec."""
+        if not cpu.is_cpu:
+            raise ConfigError("from_device expects a CPU DeviceSpec")
+        if cpu.cores % cpu.sockets:
+            raise ConfigError("cores must divide evenly across sockets")
+        return cls(
+            sockets=cpu.sockets,
+            cores_per_socket=cpu.cores // cpu.sockets,
+            smt=cpu.smt,
+        )

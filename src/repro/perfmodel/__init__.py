@@ -1,0 +1,38 @@
+"""LM-Offload's analytic performance model (paper §3.2, Eqs. 1-24).
+
+Layout:
+
+* :mod:`repro.perfmodel.notation` — :class:`Workload` and
+  :class:`HardwareParams`, binding Table 2's symbols to platform presets.
+* :mod:`repro.perfmodel.quant_model` — the (de)quantization overhead
+  equations for weights (Eqs. 12-16) and KV cache (Eqs. 17-24).
+* :mod:`repro.perfmodel.latency` — the six task costs under a policy, the
+  overlapped per-token step (Eq. 2) and end-to-end latency (Eq. 1).
+* :mod:`repro.perfmodel.analyzer` — the three decision procedures of
+  "How to use the models": weight-quant benefit, KV-quant benefit, and
+  attention-offload benefit.
+"""
+
+from repro.perfmodel.notation import HardwareParams, Workload
+from repro.perfmodel.quant_model import (
+    WeightQuantOverheads,
+    KVQuantOverheads,
+    weight_quant_overheads,
+    kv_quant_overheads,
+)
+from repro.perfmodel.latency import CostModel, LatencyBreakdown, CpuExecutionContext
+from repro.perfmodel.analyzer import QuantDecision, PerformanceAnalyzer
+
+__all__ = [
+    "HardwareParams",
+    "Workload",
+    "WeightQuantOverheads",
+    "KVQuantOverheads",
+    "weight_quant_overheads",
+    "kv_quant_overheads",
+    "CostModel",
+    "LatencyBreakdown",
+    "CpuExecutionContext",
+    "QuantDecision",
+    "PerformanceAnalyzer",
+]

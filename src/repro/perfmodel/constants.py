@@ -1,0 +1,141 @@
+"""Effective-rate calibration for the cost model.
+
+The paper's Eqs. 12-24 divide element counts by "cpu_flops", "gpu_mem_bdw"
+etc.  Taken as *peak* rates those equations predict negligible overheads —
+yet the paper *measures* large ones (Fig. 4 shows (de)quantization taking
+tens of percent of inference time).  The resolution is that the authors'
+constants are **effective kernel rates**: FlexGen's group-wise codec is a
+chain of small PyTorch ops (pad, view, min/max, sub, mul, clamp, byte
+packing), which achieves a small fraction of peak, especially for weights
+(six-plus small matrices per layer -> per-kernel launch overhead) compared
+with the KV cache (two large contiguous tensors per layer).
+
+All such effective rates live here, grouped and documented, so the
+calibration is explicit, testable and ablatable.
+
+``EngineCalibration.paper_defaults()`` is tuned so the reproduced
+experiment *shapes* match the paper (see EXPERIMENTS.md for the
+paper-vs-measured comparison).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CodecRates:
+    """Effective rates of Algorithm 2's phases on each device.
+
+    Units: ``*_scan_eps`` in elements/s (min/max pass), ``*_norm_flops`` in
+    FLOP/s for the 3-FLOP normalisation (Eqs. 10-11), ``*_copy_bw`` in
+    bytes/s for the pack/copy post-processing.
+    """
+
+    # CPU-side (one-time weight quantization at init; Eqs. 13-15).
+    cpu_scan_eps: float = 2e9
+    cpu_norm_flops: float = 40e9
+    cpu_copy_bw: float = 8e9
+    # GPU-side weight dequantization (Eq. 16): many small per-matrix
+    # kernels -> low effective bandwidth.
+    gpu_weight_norm_flops: float = 60e9
+    gpu_weight_copy_bw: float = 8e9
+    # GPU-side KV-cache codec (Eqs. 20-24): large contiguous tensors.
+    gpu_kv_scan_eps: float = 100e9
+    gpu_kv_norm_flops: float = 1e12
+    gpu_kv_copy_bw: float = 60e9
+    # CPU-side KV codec, paid when attention runs on the CPU over a
+    # compressed host-resident cache (mechanism behind Observation 1).
+    cpu_kv_scan_eps: float = 10e9
+    cpu_kv_norm_flops: float = 200e9
+    cpu_kv_copy_bw: float = 25e9
+
+
+@dataclass(frozen=True)
+class AttentionRates:
+    """Effective per-thread CPU rates for the offloaded attention kernels.
+
+    Decode attention is a batched GEMV over the KV cache: strided access,
+    low arithmetic intensity.  A single Xeon thread sustains roughly
+    1.5 GB/s through that access pattern in PyTorch (far under the 20 GB/s
+    STREAM figure), which — multiplied by the contention model's gang
+    speedup — lands end-to-end CPU-attention throughput at the paper's
+    measured scale.
+    """
+
+    cpu_bw_per_thread: float = 0.8e9
+    cpu_flops_per_thread: float = 10e9
+    #: Machine ceilings for the attention kernel class: no threading plan
+    #: can push the strided KV-gather access pattern past ~10.5 GB/s on
+    #: the paper's Xeon (DRAM random-ish access), nor past the SIMD FLOP
+    #: ceiling.  This is what bounds the benefit of parallelism control
+    #: (the paper measures -32% on the compute task, not unbounded gains).
+    cpu_bw_ceiling: float = 10.5e9
+    cpu_flops_ceiling: float = 150e9
+
+
+@dataclass(frozen=True)
+class EngineCalibration:
+    """Top-level calibration bundle for :class:`~repro.perfmodel.CostModel`.
+
+    ``pcie_efficiency`` covers pageable-memory copies and non-contiguous
+    tensor slices: FlexGen-style runtimes achieve roughly a quarter of the
+    PCIe 4.0 x16 spec rate in practice, which is what the paper's absolute
+    numbers imply (Table 1 traffic / measured step times).
+    """
+
+    codec: CodecRates = field(default_factory=CodecRates)
+    attention: AttentionRates = field(default_factory=AttentionRates)
+    pcie_efficiency: float = 0.27
+    #: Effective fraction of GPU peak achieved by the dense decode GEMMs
+    #: (GEMV-shaped, memory bound — the roofline handles most of this, the
+    #: factor covers kernel inefficiency on thin batches).
+    gpu_dense_efficiency: float = 0.85
+
+    @classmethod
+    def paper_defaults(cls) -> "EngineCalibration":
+        """The calibration used by every benchmark in this repository."""
+        return cls()
+
+    @classmethod
+    def deepspeed_defaults(cls) -> "EngineCalibration":
+        """ZeRO-Inference's runtime characteristics.
+
+        DeepSpeed streams through pre-pinned buffers (near-spec PCIe) and
+        de-quantizes weights with fused CUDA kernels (two passes over the
+        fp16 output instead of FlexGen's chain of small PyTorch ops).  The
+        paper's ZeRO throughput numbers — e.g. 110 tokens/s for OPT-30B at
+        batch 64, gen-len 128 — are only reachable with these rates.
+        """
+        return cls(
+            codec=CodecRates(
+                gpu_weight_norm_flops=5e12,
+                gpu_weight_copy_bw=150e9,
+                gpu_kv_scan_eps=500e9,
+                gpu_kv_norm_flops=5e12,
+                gpu_kv_copy_bw=300e9,
+            ),
+            pcie_efficiency=0.65,
+        )
+
+    @classmethod
+    def ideal_kernels(cls) -> "EngineCalibration":
+        """Near-peak kernel rates (ablation: how conclusions shift if the
+        codec were free)."""
+        return cls(
+            codec=CodecRates(
+                cpu_scan_eps=2e10,
+                cpu_norm_flops=4e11,
+                cpu_copy_bw=8e10,
+                gpu_weight_norm_flops=6e12,
+                gpu_weight_copy_bw=8e11,
+                gpu_kv_scan_eps=1e12,
+                gpu_kv_norm_flops=1e13,
+                gpu_kv_copy_bw=6e11,
+                cpu_kv_scan_eps=4e10,
+                cpu_kv_norm_flops=8e11,
+                cpu_kv_copy_bw=1e11,
+            ),
+            pcie_efficiency=1.0,
+            gpu_dense_efficiency=1.0,
+        )

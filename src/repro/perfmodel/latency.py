@@ -1,0 +1,581 @@
+"""Six-task cost model and end-to-end latency (paper Eqs. 1-9).
+
+:class:`CostModel` binds (workload, policy, hardware, CPU execution
+context, calibration) and produces:
+
+* per-iteration :class:`~repro.runtime.tasks.TaskCosts` for prefill and for
+  each decode token (the KV cache grows, so decode costs are per-token);
+* the overlapped per-token step time — both the paper's literal Eq. 2 (max
+  over the six tasks) and the resource-grouped variant (tasks sharing a
+  PCIe direction serialize) that the discrete-event executor validates;
+* an end-to-end :class:`LatencyBreakdown` (Eq. 1) with the quantization
+  overhead split (Figure 4) and the I/O traffic (Table 1).
+
+Policy semantics (how quantization composes with placement):
+
+* ``wg`` weights stay resident on the GPU in fp16; the offloaded remainder
+  is stored (compressed, if ``weight_quant``) in host memory, streamed per
+  layer, and de-quantized on the GPU per use (Eq. 4).
+* With GPU attention, ``cg`` of the KV cache is GPU-resident and the rest
+  streams over PCIe.  ``kv_quant`` compresses both shares: the streamed
+  share pays wire-time at the compressed size plus GPU (de)quant charged
+  to load/store_cache (Eqs. 6-7); the resident share pays (de)quant on the
+  compute stream when used.
+* With CPU attention the cache never crosses PCIe (Observation 1:
+  ``load_cache = store_cache = 0``); ``kv_quant`` then forces the *CPU* to
+  de-quantize the old cache and quantize the new entries every token,
+  which is the mechanism making quantization counter-productive under
+  attention offloading.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PolicyError
+from repro.offload.policy import OffloadPolicy
+from repro.parallel.bundling import bundle_operators
+from repro.parallel.controller import ParallelismPlan, schedule_makespan
+from repro.parallel.speedup import ContentionModel, ParallelismSetting
+from repro.parallel.topology import CpuTopology
+from repro.perfmodel.constants import EngineCalibration
+from repro.perfmodel.notation import HardwareParams, Workload
+from repro.perfmodel.quant_model import kv_quant_overheads, weight_quant_overheads
+from repro.runtime.graph import build_attention_graph, max_concurrency
+from repro.runtime.tasks import TaskCosts
+from repro.units import dtype_bytes
+
+
+@dataclass
+class CpuExecutionContext:
+    """How the CPU is being used: threading plus staging throughput.
+
+    ``parallel_efficiency()`` is the aggregate speedup (vs one thread) the
+    compute task achieves under the active threading setting, derived from
+    the contention-adjusted list schedule of the attention op graph.  The
+    default PyTorch setting and LM-Offload's controlled setting differ
+    exactly here.
+    """
+
+    topology: CpuTopology
+    contention: ContentionModel
+    setting: ParallelismSetting
+    io_staging_threads: dict[str, int] = field(default_factory=dict)
+    staging_bw_per_thread: float = 6e9
+    use_fine_grained_graph: bool = False
+    #: Fraction of the CPU available to this engine instance (multi-GPU
+    #: pipeline stages share one host CPU: each of G stages gets ~1/G).
+    cpu_share: float = 1.0
+
+    @classmethod
+    def pytorch_default(
+        cls, topology: CpuTopology, contention: ContentionModel
+    ) -> "CpuExecutionContext":
+        """PyTorch defaults (§4.1): intra = physical cores, inter = all
+        hardware threads, running the fine-grained (unbundled) op graph.
+
+        Weight/activation staging gets one thread per task — the default
+        runtime copies weights into transfer buffers on the issuing thread,
+        so that flow is staging-bound rather than wire-bound (this is the
+        load_weight improvement Figure 8 attributes to parallelism
+        control).  Cache flows go through multi-threaded torch copies and
+        get a small pool by default.
+        """
+        return cls(
+            topology=topology,
+            contention=contention,
+            setting=ParallelismSetting(
+                intra_op=topology.physical_cores, inter_op=topology.hardware_threads
+            ),
+            io_staging_threads={
+                "load_weight": 1,
+                "load_activation": 1,
+                "store_activation": 1,
+                "load_cache": 4,
+                "store_cache": 4,
+            },
+            use_fine_grained_graph=True,
+        )
+
+    @classmethod
+    def from_plan(
+        cls,
+        topology: CpuTopology,
+        contention: ContentionModel,
+        plan: ParallelismPlan,
+        staging_bw_per_thread: float = 6e9,
+    ) -> "CpuExecutionContext":
+        """Adopt a :class:`ParallelismController` plan (bundled graph)."""
+        return cls(
+            topology=topology,
+            contention=contention,
+            setting=plan.compute,
+            io_staging_threads=dict(plan.io_threads),
+            staging_bw_per_thread=staging_bw_per_thread,
+            use_fine_grained_graph=False,
+        )
+
+    def parallel_efficiency(self, num_batches: int = 4) -> float:
+        """Aggregate compute-task speedup vs 1 thread under this setting.
+
+        Cached per ``num_batches`` — the schedule simulation is pure in the
+        (frozen) setting and contention constants.
+        """
+        cache = getattr(self, "_eff_cache", None)
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_eff_cache", cache)
+        if num_batches in cache:
+            return cache[num_batches]
+        graph = build_attention_graph(
+            num_batches, fine_grained=self.use_fine_grained_graph
+        )
+        if not self.use_fine_grained_graph:
+            graph, _ = bundle_operators(graph)
+        co = min(self.setting.inter_op, max_concurrency(graph))
+
+        def op_time(name: str) -> float:
+            node = graph.node(name)
+            speedup = self.contention.effective_op_speedup(
+                self.setting, co, op_bytes=node.bytes_touched or 4e6
+            )
+            return node.work / speedup
+
+        makespan = schedule_makespan(graph, self.setting.inter_op, op_time)
+        cache[num_batches] = graph.total_work() / makespan
+        return cache[num_batches]
+
+    def staging_seconds(self, task: str, nbytes: float) -> float:
+        """Host-side staging time for an I/O task (0 if no thread info)."""
+        threads = self.io_staging_threads.get(task, 0)
+        if threads <= 0 or nbytes <= 0:
+            return 0.0
+        return nbytes / (self.staging_bw_per_thread * threads)
+
+
+@dataclass(frozen=True)
+class LatencyBreakdown:
+    """End-to-end timing decomposition (Eq. 1) plus reporting extras."""
+
+    t_init: float
+    t_prefill: float
+    t_decode: float
+    task_totals: dict[str, float]
+    quant_overheads: dict[str, float]
+    io_traffic: dict[tuple[str, str, str], float]
+    bottleneck: str
+
+    @property
+    def total_seconds(self) -> float:
+        return self.t_init + self.t_prefill + self.t_decode
+
+    @property
+    def total_quant_seconds(self) -> float:
+        """All (de)quantization time (Figure 4's quant+dequant bars)."""
+        return sum(self.quant_overheads.values())
+
+    def throughput(self, workload: Workload) -> float:
+        """Generated tokens per second (the paper's tput metric)."""
+        return workload.block_size * workload.gen_len / self.total_seconds
+
+
+class CostModel:
+    """The full analytic model for one (workload, policy, hardware) triple."""
+
+    def __init__(
+        self,
+        workload: Workload,
+        policy: OffloadPolicy,
+        hw: HardwareParams,
+        cpu_ctx: CpuExecutionContext,
+        calibration: EngineCalibration | None = None,
+        weights_preloaded: bool = True,
+    ) -> None:
+        if policy.gpu_batch_size * policy.num_gpu_batches != workload.block_size:
+            raise PolicyError(
+                "policy batch geometry disagrees with the workload block size"
+            )
+        self.w = workload
+        self.p = policy
+        self.hw = hw
+        self.ctx = cpu_ctx
+        self.cal = calibration or EngineCalibration.paper_defaults()
+        self.weights_preloaded = weights_preloaded
+        self.fp = workload.footprint()
+        self._eff = cpu_ctx.parallel_efficiency()
+
+    # -- effective rates -----------------------------------------------------
+
+    @property
+    def pcie_bw(self) -> float:
+        """Achieved PCIe bytes/s per direction."""
+        return self.hw.pcie_bdw * self.cal.pcie_efficiency
+
+    # -- stored byte sizes -----------------------------------------------------
+
+    def offloaded_weight_bytes_per_layer(self) -> float:
+        """Stored bytes of the CPU-resident weight share of one layer."""
+        n = self.w.model.weights_per_layer * self.p.wc
+        if n == 0:
+            return 0.0
+        if self.p.weight_quant is not None:
+            return self.p.weight_quant.total_bytes(n)
+        return n * dtype_bytes("fp16")
+
+    def resident_weight_bytes_per_layer(self) -> float:
+        """GPU-resident weight bytes (compressed when the policy stores the
+        resident share quantized, as ZeRO-Inference's 4-bit mode does)."""
+        n = self.w.model.weights_per_layer * self.p.wg
+        if self.p.quantize_resident_weights and self.p.weight_quant is not None:
+            return self.p.weight_quant.total_bytes(n)
+        return n * dtype_bytes("fp16")
+
+    def _resident_weight_dequant_iter(self) -> float:
+        """Per-iteration dequant of compressed resident weights (on the
+        compute stream — the weights are unpacked at point of use)."""
+        if not (self.p.quantize_resident_weights and self.p.weight_quant):
+            return 0.0
+        if self.p.wg == 0:
+            return 0.0
+        over = weight_quant_overheads(self.w, self.p.wg, self.cal.codec)
+        return over.dequantize_seconds / self.p.num_gpu_batches
+
+    def kv_store_bytes_per_token(self) -> float:
+        """Stored bytes of one token's KV entries (whole block, one layer)."""
+        elements = self.fp.kv_elements_per_token_per_layer
+        if self.p.kv_quant is not None:
+            return self.p.kv_quant.total_bytes(elements)
+        return elements * dtype_bytes("fp16")
+
+    # -- memory feasibility --------------------------------------------------
+
+    def gpu_bytes_required(self) -> float:
+        """Peak GPU bytes under this policy."""
+        l = self.w.model.num_layers
+        weights = self.resident_weight_bytes_per_layer() * l
+        # Uncompressed working weights: current + prefetch when layers
+        # stream from the host; a single dequantization buffer when all
+        # weights are resident (ZeRO-Inference's mode).
+        working_layers = 2 if self.p.wc > 0 else 1
+        working = working_layers * self.w.model.weights_per_layer * dtype_bytes("fp16")
+        kv = 0.0
+        if not self.p.attention_on_cpu:
+            kv_total = (
+                (self.w.prompt_len + self.w.gen_len)
+                * self.kv_store_bytes_per_token()
+                * l
+            )
+            kv = self.p.cg * kv_total
+            # Working buffer for one layer's (dequantized) cache slice.
+            kv += (
+                (self.w.prompt_len + self.w.gen_len)
+                * self.fp.kv_elements_per_token_per_layer
+                * dtype_bytes("fp16")
+                / self.p.num_gpu_batches
+            )
+        act = self.fp.activation_bytes_per_layer * (2 + 2 * self.p.hg)
+        return weights + working + kv + act
+
+    def cpu_bytes_required(self) -> float:
+        """Peak host bytes under this policy."""
+        l = self.w.model.num_layers
+        weights = self.offloaded_weight_bytes_per_layer() * l
+        if self.p.wc > 0 and self.p.wd > 0:
+            # Disk-resident weights only occupy a 2-layer staging window
+            # in host memory, not their full footprint.
+            disk_share = self.p.wd / self.p.wc
+            resident = weights * (1.0 - disk_share)
+            staging = 2 * self.offloaded_weight_bytes_per_layer()
+            weights = resident + min(staging, weights * disk_share)
+        kv_total = (
+            (self.w.prompt_len + self.w.gen_len) * self.kv_store_bytes_per_token() * l
+        )
+        kv = kv_total if self.p.attention_on_cpu else (1.0 - self.p.cg) * kv_total
+        act = self.fp.activation_bytes_per_layer * 2 * (1.0 - self.p.hg)
+        return weights + kv + act
+
+    def check_feasible(self) -> None:
+        """Raise :class:`PolicyError` when the policy overflows a memory."""
+        gpu_need = self.gpu_bytes_required()
+        if gpu_need > self.hw.gpu_mem_capacity:
+            raise PolicyError(
+                f"policy needs {gpu_need/1e9:.1f} GB GPU memory "
+                f"(capacity {self.hw.gpu_mem_capacity/1e9:.1f} GB): {self.p.describe()}"
+            )
+        cpu_need = self.cpu_bytes_required()
+        if cpu_need > self.hw.cpu_mem_capacity:
+            raise PolicyError(
+                f"policy needs {cpu_need/1e9:.1f} GB host memory "
+                f"(capacity {self.hw.cpu_mem_capacity/1e9:.1f} GB): {self.p.describe()}"
+            )
+
+    # -- kernel building blocks -----------------------------------------------
+
+    def _load_weight_iter(self) -> float:
+        """Per-iteration load_weight incl. Eq. 4 dequant, host staging, and
+        the disk leg for any disk-resident share (third tier)."""
+        per_iter = self.offloaded_weight_bytes_per_layer() / self.p.num_gpu_batches
+        wire = per_iter / self.pcie_bw
+        stage = self.ctx.staging_seconds("load_weight", per_iter)
+        t = max(wire, stage)
+        if self.p.wd > 0 and self.p.wc > 0:
+            # The disk-resident slice of the offloaded share must first
+            # reach host memory at disk bandwidth (pipelined with PCIe, so
+            # the slower leg dominates).
+            disk_per_iter = per_iter * (self.p.wd / self.p.wc)
+            t = max(t, disk_per_iter / self.hw.disk_bdw)
+        if self.p.weight_quant is not None and self.p.wc > 0:
+            over = weight_quant_overheads(self.w, self.p.wc, self.cal.codec)
+            t += over.dequantize_seconds / self.p.num_gpu_batches
+        return t
+
+    def _attention_flops_bytes(self, ctx_len: int, tokens: int) -> tuple[float, float]:
+        """FLOPs and fp16 bytes of attention for one batch iteration."""
+        h1 = self.w.model.hidden_size
+        b = self.p.gpu_batch_size
+        flops = 4.0 * b * tokens * ctx_len * h1
+        kv_bytes = 2.0 * b * ctx_len * h1 * dtype_bytes("fp16")
+        return flops, kv_bytes
+
+    def _cpu_attention_seconds(self, ctx_len: int, tokens: int) -> float:
+        """Offloaded attention under the active threading setting."""
+        flops, nbytes = self._attention_flops_bytes(ctx_len, tokens)
+        rates = self.cal.attention
+        share = self.ctx.cpu_share
+        flop_rate = min(
+            rates.cpu_flops_per_thread * self._eff, rates.cpu_flops_ceiling
+        ) * share
+        bw_rate = min(
+            rates.cpu_bw_per_thread * self._eff, rates.cpu_bw_ceiling
+        ) * share
+        return max(flops / flop_rate, nbytes / bw_rate)
+
+    def _gpu_attention_seconds(self, ctx_len: int, tokens: int) -> float:
+        flops, nbytes = self._attention_flops_bytes(ctx_len, tokens)
+        eff = self.cal.gpu_dense_efficiency
+        return max(flops / (self.hw.gpu_flops * eff), nbytes / self.hw.gpu_mem_bdw)
+
+    def _gpu_dense_seconds(self, tokens: int) -> float:
+        """Projections + MLP on the GPU for one batch iteration."""
+        n_weights = self.w.model.weights_per_layer
+        flops = 2.0 * n_weights * tokens * self.p.gpu_batch_size
+        nbytes = n_weights * dtype_bytes("fp16")
+        eff = self.cal.gpu_dense_efficiency
+        return max(flops / (self.hw.gpu_flops * eff), nbytes / self.hw.gpu_mem_bdw)
+
+    # -- the six tasks -------------------------------------------------------
+
+    def decode_task_costs(self, token_idx: int) -> TaskCosts:
+        """Per-iteration task costs for decode token ``token_idx`` (0-based,
+        counting tokens produced after prefill)."""
+        w, p = self.w, self.p
+        ctx_len = w.prompt_len + 1 + token_idx
+        k = p.num_gpu_batches
+
+        load_weight = self._load_weight_iter()
+
+        act_bytes = self.fp.activation_bytes_per_layer
+        # Activations cross PCIe for the offloaded share; CPU attention
+        # additionally ships the attention output up every layer.
+        act_flow = act_bytes * max(1.0 - p.hg, 1.0 if p.attention_on_cpu else 0.0)
+        load_act = act_flow / k / self.pcie_bw
+        store_act = act_flow / k / self.pcie_bw
+
+        if p.attention_on_cpu:
+            load_cache = 0.0
+            store_cache = 0.0
+            # _cpu_attention_seconds already costs one gpu_batch iteration.
+            cpu_attn = self._cpu_attention_seconds(ctx_len, 1)
+            if p.kv_quant is not None:
+                over = kv_quant_overheads(
+                    w, self.cal.codec, device="cpu", token_idx=token_idx
+                )
+                cpu_attn += (over.old_dequant_seconds + over.new_quant_seconds) / k
+            compute = max(cpu_attn, self._gpu_dense_seconds(1))
+        else:
+            stored = self.kv_store_bytes_per_token()
+            streamed_share = 1.0 - p.cg
+            old_bytes = ctx_len * stored * streamed_share / k
+            new_bytes = stored * streamed_share / k
+            load_cache = max(
+                old_bytes / self.pcie_bw,
+                self.ctx.staging_seconds("load_cache", old_bytes),
+            )
+            store_cache = max(
+                new_bytes / self.pcie_bw,
+                self.ctx.staging_seconds("store_cache", new_bytes),
+            )
+            compute = self._gpu_attention_seconds(ctx_len, 1) + self._gpu_dense_seconds(1)
+            if p.kv_quant is not None:
+                over = kv_quant_overheads(
+                    w, self.cal.codec, device="gpu", token_idx=token_idx
+                )
+                # Streamed share: codec charged to the cache tasks (Eqs. 6-7).
+                load_cache += over.old_dequant_seconds * streamed_share / k
+                store_cache += over.new_quant_seconds * streamed_share / k
+                # Resident share: codec runs when the cache is used/updated.
+                compute += (
+                    over.old_dequant_seconds + over.new_quant_seconds
+                ) * p.cg / k
+
+        compute += self._resident_weight_dequant_iter()
+        return TaskCosts(
+            load_weight=load_weight,
+            load_cache=load_cache,
+            load_activation=load_act,
+            store_cache=store_cache,
+            store_activation=store_act,
+            compute=compute,
+        )
+
+    def prefill_task_costs(self) -> TaskCosts:
+        """Per-iteration costs of the prefill pass (all prompt tokens)."""
+        w, p = self.w, self.p
+        s = w.prompt_len
+        k = p.num_gpu_batches
+        load_weight = self._load_weight_iter()
+        # Prefill attention/MLP always run on the GPU (paper Fig. 2, 1.2).
+        compute = self._gpu_attention_seconds(s, s) + self._gpu_dense_seconds(s)
+        resident = 0.0 if p.attention_on_cpu else p.cg
+        pf_bytes = (s + 1) * self.kv_store_bytes_per_token() * (1.0 - resident)
+        store_cache = pf_bytes / k / self.pcie_bw
+        if p.kv_quant is not None:
+            over = kv_quant_overheads(w, self.cal.codec, device="gpu")
+            compute += over.prefill_quant_seconds / k  # Eq. 5
+        compute += self._resident_weight_dequant_iter()
+        act_flow = self.fp.prefill_activation_bytes_per_layer * (1.0 - p.hg)
+        return TaskCosts(
+            load_weight=load_weight,
+            load_cache=0.0,
+            load_activation=act_flow / k / self.pcie_bw,
+            store_cache=store_cache,
+            store_activation=act_flow / k / self.pcie_bw,
+            compute=compute,
+        )
+
+    # -- aggregation ---------------------------------------------------------
+
+    @staticmethod
+    def step_seconds(costs: TaskCosts, literal_eq2: bool = False) -> float:
+        """Per-iteration overlapped time.
+
+        ``literal_eq2=True`` reproduces Eq. 2 exactly (max over six tasks).
+        The default groups tasks by physical resource — the three H2D loads
+        share a PCIe direction and serialize — matching the discrete-event
+        executor.
+        """
+        if literal_eq2:
+            return costs.step_time()
+        h2d = costs.load_weight + costs.load_cache + costs.load_activation
+        d2h = costs.store_cache + costs.store_activation
+        return max(h2d, d2h, costs.compute)
+
+    def t_init_seconds(self) -> float:
+        """Eq. 3: disk -> host weight load + one-time weight quantization."""
+        t = 0.0
+        if not self.weights_preloaded:
+            t += self.fp.total_weight_bytes / self.hw.disk_bdw
+        if self.p.weight_quant is not None and self.p.wc > 0:
+            over = weight_quant_overheads(self.w, self.p.wc, self.cal.codec)
+            t += over.quantize_seconds * self.w.model.num_layers
+        return t
+
+    def decode_seconds(self, literal_eq2: bool = False) -> float:
+        """Total decode time across (n-1) tokens (Eq. 1's third term)."""
+        iters = self.w.model.num_layers * self.p.num_gpu_batches
+        return sum(
+            self.step_seconds(self.decode_task_costs(t), literal_eq2) * iters
+            for t in range(self.w.gen_len - 1)
+        )
+
+    def breakdown(self, literal_eq2: bool = False) -> LatencyBreakdown:
+        """Assemble Eq. 1 end to end, with reporting detail."""
+        self.check_feasible()
+        w, p = self.w, self.p
+        iters = w.model.num_layers * p.num_gpu_batches
+
+        pf = self.prefill_task_costs()
+        t_prefill = self.step_seconds(pf, literal_eq2) * iters
+
+        task_totals = {key: v * iters for key, v in pf.as_dict().items()}
+        t_decode = 0.0
+        for t in range(w.gen_len - 1):
+            dc = self.decode_task_costs(t)
+            t_decode += self.step_seconds(dc, literal_eq2) * iters
+            for key, v in dc.as_dict().items():
+                task_totals[key] += v * iters
+
+        mid = self.decode_task_costs(max(0, (w.gen_len - 1) // 2))
+        return LatencyBreakdown(
+            t_init=self.t_init_seconds(),
+            t_prefill=t_prefill,
+            t_decode=t_decode,
+            task_totals=task_totals,
+            quant_overheads=self._quant_overhead_totals(),
+            io_traffic=self._traffic_totals(),
+            bottleneck=mid.bottleneck().value,
+        )
+
+    def _quant_overhead_totals(self) -> dict[str, float]:
+        """Total quant/dequant seconds over the whole run (Figure 4)."""
+        w, p = self.w, self.p
+        l = w.model.num_layers
+        out = {
+            "weight_quant_init": 0.0,
+            "weight_dequant": 0.0,
+            "kv_prefill_quant": 0.0,
+            "kv_new_quant": 0.0,
+            "kv_old_dequant": 0.0,
+        }
+        if p.weight_quant is not None and p.wc > 0:
+            over = weight_quant_overheads(w, p.wc, self.cal.codec)
+            out["weight_quant_init"] = over.quantize_seconds * l
+            out["weight_dequant"] = over.dequantize_seconds * l * w.gen_len
+        if p.quantize_resident_weights and p.weight_quant is not None and p.wg > 0:
+            over = weight_quant_overheads(w, p.wg, self.cal.codec)
+            out["weight_quant_init"] += over.quantize_seconds * l
+            out["weight_dequant"] += over.dequantize_seconds * l * w.gen_len
+        if p.kv_quant is not None:
+            device = "cpu" if p.attention_on_cpu else "gpu"
+            pf = kv_quant_overheads(w, self.cal.codec, device="gpu")
+            out["kv_prefill_quant"] = pf.prefill_quant_seconds * l
+            for t in range(w.gen_len - 1):
+                tok = kv_quant_overheads(
+                    w, self.cal.codec, device=device, token_idx=t
+                )
+                out["kv_new_quant"] += tok.new_quant_seconds * l
+                out["kv_old_dequant"] += tok.old_dequant_seconds * l
+        return out
+
+    def _traffic_totals(self) -> dict[tuple[str, str, str], float]:
+        """Whole-run I/O traffic by (src, dst, category) — Table 1's data."""
+        w, p = self.w, self.p
+        l = w.model.num_layers
+        n = w.gen_len
+        traffic: dict[tuple[str, str, str], float] = {}
+
+        weights_per_token = self.offloaded_weight_bytes_per_layer() * l
+        traffic[("cpu", "gpu", "weights")] = weights_per_token * n
+        if p.wc > 0 and p.wd > 0:
+            traffic[("disk", "cpu", "weights")] = (
+                weights_per_token * (p.wd / p.wc) * n
+            )
+
+        act_bytes = self.fp.activation_bytes_per_layer
+        act_flow = act_bytes * l * n * max(
+            1.0 - p.hg, 1.0 if p.attention_on_cpu else 0.0
+        )
+        traffic[("cpu", "gpu", "activation")] = act_flow
+        traffic[("gpu", "cpu", "activation")] = act_flow
+
+        if p.attention_on_cpu:
+            traffic[("cpu", "gpu", "kv_cache")] = 0.0
+            traffic[("gpu", "cpu", "kv_cache")] = 0.0
+        else:
+            stored = self.kv_store_bytes_per_token()
+            share = 1.0 - p.cg
+            old_total = sum((w.prompt_len + 1 + t) * stored for t in range(n - 1))
+            traffic[("cpu", "gpu", "kv_cache")] = old_total * share * l
+            new_total = stored * (n - 1) + (w.prompt_len + 1) * stored
+            traffic[("gpu", "cpu", "kv_cache")] = new_total * share * l
+        return traffic

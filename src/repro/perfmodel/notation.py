@@ -1,0 +1,116 @@
+"""Table 2's notation as typed parameter bundles.
+
+:class:`Workload` is the (model, s, n, batch geometry) tuple; ``bls`` is
+derived.  :class:`HardwareParams` carries the six hardware rates the
+equations consume, extractable from any :class:`~repro.hardware.Platform`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.hardware.platform import Platform
+from repro.models.config import ModelConfig
+from repro.models.footprint import ModelFootprint
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One inference job: model + sequence shape + batch geometry."""
+
+    model: ModelConfig
+    prompt_len: int
+    gen_len: int
+    gpu_batch_size: int
+    num_gpu_batches: int = 1
+
+    def __post_init__(self) -> None:
+        if self.prompt_len <= 0 or self.gen_len <= 0:
+            raise ConfigError("prompt_len and gen_len must be positive")
+        if self.gpu_batch_size <= 0 or self.num_gpu_batches <= 0:
+            raise ConfigError("batch geometry must be positive")
+
+    @property
+    def block_size(self) -> int:
+        """``bls`` — sequences per zig-zag block."""
+        return self.gpu_batch_size * self.num_gpu_batches
+
+    def footprint(
+        self,
+        weight_dtype: str = "fp16",
+        kv_dtype: str = "fp16",
+        act_dtype: str = "fp16",
+    ) -> ModelFootprint:
+        """Byte calculator bound to this workload."""
+        return ModelFootprint(
+            config=self.model,
+            prompt_len=self.prompt_len,
+            gen_len=self.gen_len,
+            block_size=self.block_size,
+            weight_dtype=weight_dtype,
+            kv_dtype=kv_dtype,
+            act_dtype=act_dtype,
+        )
+
+    def with_batches(self, gpu_batch_size: int, num_gpu_batches: int) -> "Workload":
+        return Workload(
+            model=self.model,
+            prompt_len=self.prompt_len,
+            gen_len=self.gen_len,
+            gpu_batch_size=gpu_batch_size,
+            num_gpu_batches=num_gpu_batches,
+        )
+
+    def describe(self) -> str:
+        return (
+            f"{self.model.name} s={self.prompt_len} n={self.gen_len} "
+            f"bsz={self.gpu_batch_size}x{self.num_gpu_batches} (bls={self.block_size})"
+        )
+
+
+@dataclass(frozen=True)
+class HardwareParams:
+    """The hardware symbols of Table 2 (rates in FLOP/s, B/s, Hz)."""
+
+    gpu_flops: float
+    gpu_mem_bdw: float
+    gpu_freq: float
+    cpu_flops: float
+    cpu_mem_bdw: float
+    cpu_freq: float
+    pcie_bdw: float
+    disk_bdw: float = 2e9
+    gpu_mem_capacity: float = 40e9
+    cpu_mem_capacity: float = 240e9
+
+    def __post_init__(self) -> None:
+        for name in (
+            "gpu_flops", "gpu_mem_bdw", "gpu_freq",
+            "cpu_flops", "cpu_mem_bdw", "cpu_freq", "pcie_bdw", "disk_bdw",
+        ):
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"hardware parameter {name} must be > 0")
+
+    @classmethod
+    def from_platform(cls, platform: Platform, gpu_name: str | None = None) -> "HardwareParams":
+        """Extract the Table 2 rates from a platform preset."""
+        gpu = platform.device(gpu_name) if gpu_name else platform.gpus[0]
+        cpu = platform.cpu
+        link = platform.link_between(cpu.name, gpu.name)
+        try:
+            disk_bdw = platform.link_between("disk", cpu.name).bandwidth
+        except ConfigError:
+            disk_bdw = 2e9
+        return cls(
+            gpu_flops=gpu.peak_flops,
+            gpu_mem_bdw=gpu.mem_bandwidth,
+            gpu_freq=gpu.freq,
+            cpu_flops=cpu.peak_flops,
+            cpu_mem_bdw=cpu.mem_bandwidth,
+            cpu_freq=cpu.freq,
+            pcie_bdw=link.bandwidth,
+            disk_bdw=disk_bdw,
+            gpu_mem_capacity=gpu.memory_capacity,
+            cpu_mem_capacity=cpu.memory_capacity,
+        )

@@ -1,0 +1,62 @@
+"""Quantization error metrics.
+
+Used by tests to bound the numeric damage of the quantizer and by the
+group-size ablation bench to show the accuracy/overhead tradeoff.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.quant.config import QuantConfig
+from repro.quant.groupwise import roundtrip
+
+
+def max_abs_error(original: np.ndarray, restored: np.ndarray) -> float:
+    """Worst-case absolute element error."""
+    return float(np.max(np.abs(np.asarray(original, dtype=np.float64) - restored)))
+
+
+def mean_abs_error(original: np.ndarray, restored: np.ndarray) -> float:
+    """Mean absolute element error."""
+    return float(np.mean(np.abs(np.asarray(original, dtype=np.float64) - restored)))
+
+
+def quantization_snr(original: np.ndarray, restored: np.ndarray) -> float:
+    """Signal-to-noise ratio in dB; +inf for an exact round-trip."""
+    signal = float(np.mean(np.square(np.asarray(original, dtype=np.float64))))
+    noise = float(np.mean(np.square(np.asarray(original, dtype=np.float64) - restored)))
+    if noise == 0:
+        return float("inf")
+    return 10.0 * np.log10(signal / noise)
+
+
+def roundtrip_error_bound(config: QuantConfig, tensor: np.ndarray) -> float:
+    """Analytic worst-case error: half a quantization step per group.
+
+    For group-wise min/max quantization the error of any element is at most
+    ``(max - min) / (2 * (2^b - 1))`` of its group.
+    """
+    data = np.asarray(tensor, dtype=np.float64)
+    axis = config.group_dim if config.group_dim >= 0 else data.ndim + config.group_dim
+    moved = np.moveaxis(data, axis, -1)
+    length = moved.shape[-1]
+    pad = (-length) % config.group_size
+    if pad:
+        moved = np.concatenate(
+            [moved, np.repeat(moved[..., -1:], pad, axis=-1)], axis=-1
+        )
+    groups = moved.reshape(-1, config.group_size)
+    ranges = groups.max(axis=1) - groups.min(axis=1)
+    return float(ranges.max()) / (2 * (config.levels - 1))
+
+
+def empirical_error(tensor: np.ndarray, config: QuantConfig) -> dict[str, float]:
+    """Round-trip a tensor and report all metrics at once."""
+    restored = roundtrip(tensor, config)
+    return {
+        "max_abs": max_abs_error(tensor, restored),
+        "mean_abs": mean_abs_error(tensor, restored),
+        "snr_db": quantization_snr(tensor, restored),
+        "bound": roundtrip_error_bound(config, tensor),
+    }

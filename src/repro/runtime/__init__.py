@@ -1,0 +1,38 @@
+"""Asynchronous execution runtime: op graphs, six tasks, event simulation.
+
+This reproduces FlexGen's execution substrate that LM-Offload inherits
+(paper Algorithm 1): a zig-zag block schedule in which six tasks per
+(token, layer, batch) — ``load_weight``, ``store_activation``,
+``store_cache``, ``load_cache``, ``load_activation``, ``compute`` — are
+launched asynchronously and overlap, so per-layer decode latency is the max
+of the six (Eq. 2).
+
+:mod:`repro.runtime.graph` also provides the operator dependency graph of
+the attention computation (paper Figure 6) and the Kahn-levels concurrency
+analysis that Algorithm 3 uses to pick inter-op parallelism.
+"""
+
+from repro.runtime.graph import OpGraph, OpNode, kahn_levels, max_concurrency
+from repro.runtime.graph import build_attention_graph
+from repro.runtime.tasks import TaskKind, TaskCosts
+from repro.runtime.events import EventSim, Resource
+from repro.runtime.streams import StreamSet
+from repro.runtime.executor import OverlappedExecutor, LayerTiming
+from repro.runtime.pipeline import DecodeLoop, GenerationTrace
+
+__all__ = [
+    "OpGraph",
+    "OpNode",
+    "kahn_levels",
+    "max_concurrency",
+    "build_attention_graph",
+    "TaskKind",
+    "TaskCosts",
+    "EventSim",
+    "Resource",
+    "StreamSet",
+    "OverlappedExecutor",
+    "LayerTiming",
+    "DecodeLoop",
+    "GenerationTrace",
+]

@@ -1,0 +1,90 @@
+"""The full decode loop: prefill + n decode tokens through the executor.
+
+:class:`DecodeLoop` stitches per-token :class:`~repro.runtime.tasks.TaskCosts`
+(which change every token because the KV cache grows) into an end-to-end
+:class:`GenerationTrace`.  It is the event-driven counterpart of the
+closed-form Eq. 1/2 model in :mod:`repro.perfmodel.latency`; the two agree
+in the steady state and tests enforce that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.errors import ScheduleError
+from repro.runtime.executor import OverlappedExecutor
+from repro.runtime.streams import StreamSet
+from repro.runtime.tasks import TaskCosts
+
+
+@dataclass(frozen=True)
+class GenerationTrace:
+    """Timeline of one block's generation run."""
+
+    prefill_seconds: float
+    decode_seconds: float
+    per_token_seconds: tuple[float, ...]
+    per_task_busy: dict[str, float]
+
+    @property
+    def total_seconds(self) -> float:
+        return self.prefill_seconds + self.decode_seconds
+
+    def throughput(self, block_size: int, gen_len: int) -> float:
+        """Generated tokens per second for the whole block (paper metric)."""
+        if self.total_seconds <= 0:
+            raise ScheduleError("empty trace")
+        return block_size * gen_len / self.total_seconds
+
+
+@dataclass
+class DecodeLoop:
+    """Runs prefill + decode through an :class:`OverlappedExecutor`.
+
+    Parameters
+    ----------
+    num_layers, num_gpu_batches:
+        Schedule geometry.
+    """
+
+    num_layers: int
+    num_gpu_batches: int
+
+    def run(
+        self,
+        prefill_costs: TaskCosts,
+        decode_costs: Callable[[int], TaskCosts] | Sequence[TaskCosts],
+        gen_len: int,
+    ) -> GenerationTrace:
+        """Simulate one full generation.
+
+        ``decode_costs`` gives per-iteration task costs for each decode
+        token index (callable or pre-built sequence); token 0's output is
+        produced by the prefill pass, so ``gen_len - 1`` decode steps run
+        (matching Eq. 1's ``(n - 1)`` factor).
+        """
+        if gen_len <= 0:
+            raise ScheduleError("gen_len must be positive")
+        executor = OverlappedExecutor(
+            num_layers=self.num_layers,
+            num_gpu_batches=self.num_gpu_batches,
+            streams=StreamSet.fresh(),
+        )
+        # Prefill: one pass over layers x batches at prefill costs.
+        prefill = executor.run_token(prefill_costs, start_at=0.0)
+        per_token: list[float] = []
+        clock = prefill.end
+        for t in range(gen_len - 1):
+            costs = decode_costs(t) if callable(decode_costs) else decode_costs[t]
+            timing = executor.run_token(costs, start_at=clock)
+            per_token.append(timing.end - clock)
+            clock = timing.end
+        sim = executor.streams.sim
+        busy = {name: sim.resource(name).busy_time for name in ("h2d", "d2h", "compute")}
+        return GenerationTrace(
+            prefill_seconds=prefill.elapsed,
+            decode_seconds=clock - prefill.end,
+            per_token_seconds=tuple(per_token),
+            per_task_busy=busy,
+        )

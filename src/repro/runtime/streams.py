@@ -1,0 +1,45 @@
+"""The standard stream set used by the offloading executor.
+
+Mirrors the CUDA-stream layout FlexGen uses: one H2D copy stream, one D2H
+copy stream, the GPU compute stream, and the CPU worker pool (which runs
+offloaded attention and host-side staging).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.runtime.events import EventSim, Resource
+
+STREAM_NAMES = ("h2d", "d2h", "compute", "cpu")
+
+
+@dataclass
+class StreamSet:
+    """Named handles over an :class:`EventSim`'s resources."""
+
+    sim: EventSim
+
+    def __post_init__(self) -> None:
+        for name in STREAM_NAMES:
+            self.sim.resource(name)
+
+    @property
+    def h2d(self) -> Resource:
+        return self.sim.resource("h2d")
+
+    @property
+    def d2h(self) -> Resource:
+        return self.sim.resource("d2h")
+
+    @property
+    def compute(self) -> Resource:
+        return self.sim.resource("compute")
+
+    @property
+    def cpu(self) -> Resource:
+        return self.sim.resource("cpu")
+
+    @classmethod
+    def fresh(cls) -> "StreamSet":
+        return cls(sim=EventSim())

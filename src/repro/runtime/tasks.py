@@ -1,0 +1,88 @@
+"""The six decode-phase tasks and their cost containers (paper Alg. 1).
+
+Every (token, layer, batch) iteration launches six asynchronous tasks.
+:class:`TaskCosts` holds their per-iteration durations; Eq. 2 says the
+overlapped iteration time is the max of the six, which :meth:`TaskCosts.step_time`
+implements.  The executor (:mod:`repro.runtime.executor`) checks that the
+event-driven schedule converges to the same steady state.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, fields
+
+
+class TaskKind(enum.Enum):
+    """The six tasks of Algorithm 1."""
+
+    LOAD_WEIGHT = "load_weight"
+    LOAD_CACHE = "load_cache"
+    LOAD_ACTIVATION = "load_activation"
+    STORE_CACHE = "store_cache"
+    STORE_ACTIVATION = "store_activation"
+    COMPUTE = "compute"
+
+
+#: Which simulated resource executes each task kind.
+TASK_RESOURCE = {
+    TaskKind.LOAD_WEIGHT: "h2d",
+    TaskKind.LOAD_CACHE: "h2d",
+    TaskKind.LOAD_ACTIVATION: "h2d",
+    TaskKind.STORE_CACHE: "d2h",
+    TaskKind.STORE_ACTIVATION: "d2h",
+    TaskKind.COMPUTE: "compute",
+}
+
+
+@dataclass(frozen=True)
+class TaskCosts:
+    """Durations (seconds) of the six tasks for one decode iteration.
+
+    ``compute`` already folds in whatever runs on the compute resource
+    (GPU MLP + GPU attention, or the max of pipelined CPU attention and
+    GPU MLP when attention is offloaded — see the engine).
+    """
+
+    load_weight: float = 0.0
+    load_cache: float = 0.0
+    load_activation: float = 0.0
+    store_cache: float = 0.0
+    store_activation: float = 0.0
+    compute: float = 0.0
+
+    def __post_init__(self) -> None:
+        for f in fields(self):
+            if getattr(self, f.name) < 0:
+                raise ValueError(f"task cost {f.name} must be non-negative")
+
+    def as_dict(self) -> dict[str, float]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def get(self, kind: TaskKind) -> float:
+        return getattr(self, kind.value)
+
+    def step_time(self) -> float:
+        """Eq. 2: overlapped per-iteration latency = max of the six tasks."""
+        return max(self.as_dict().values())
+
+    def bottleneck(self) -> TaskKind:
+        """Which task dominates the overlapped iteration."""
+        name = max(self.as_dict().items(), key=lambda kv: kv[1])[0]
+        return TaskKind(name)
+
+    def serial_time(self) -> float:
+        """Sum of the six (what a non-overlapped runtime would pay)."""
+        return sum(self.as_dict().values())
+
+    def scaled(self, factor: float) -> "TaskCosts":
+        """Uniformly scale every task (used for what-if analysis)."""
+        if factor < 0:
+            raise ValueError("factor must be non-negative")
+        return TaskCosts(**{k: v * factor for k, v in self.as_dict().items()})
+
+    @staticmethod
+    def elementwise_max(a: "TaskCosts", b: "TaskCosts") -> "TaskCosts":
+        return TaskCosts(
+            **{k: max(v, b.as_dict()[k]) for k, v in a.as_dict().items()}
+        )

@@ -1,0 +1,11 @@
+"""Execution-trace capture and Chrome-trace export.
+
+Wraps the discrete-event runtime so a decode schedule can be inspected in
+``chrome://tracing`` / Perfetto: one row per resource (H2D, D2H, GPU
+compute, CPU), one slice per task, exactly as the overlapped zig-zag
+schedule executed it.
+"""
+
+from repro.trace.chrome import ChromeTraceBuilder, trace_decode_schedule
+
+__all__ = ["ChromeTraceBuilder", "trace_decode_schedule"]

@@ -1,0 +1,140 @@
+"""Chrome-trace (``chrome://tracing``) export of simulated schedules.
+
+The JSON produced follows the Trace Event Format's complete-event ("X")
+records: ``{"name", "ph": "X", "ts", "dur", "pid", "tid"}`` with
+microsecond timestamps.  Load the file in Perfetto or chrome://tracing to
+see the six tasks overlapping across the H2D / D2H / compute rows.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.errors import ScheduleError
+from repro.runtime.events import EventSim
+from repro.runtime.streams import StreamSet
+from repro.runtime.tasks import TASK_RESOURCE, TaskCosts, TaskKind
+
+
+@dataclass
+class ChromeTraceBuilder:
+    """Accumulates trace slices and serialises them.
+
+    Resources map to ``tid`` rows under a single ``pid``; slice name is
+    the task label.
+    """
+
+    process_name: str = "lm-offload-sim"
+    _events: list[dict] = field(default_factory=list)
+    _tids: dict[str, int] = field(default_factory=dict)
+
+    def _tid(self, resource: str) -> int:
+        if resource not in self._tids:
+            tid = len(self._tids)
+            self._tids[resource] = tid
+            self._events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 0,
+                    "tid": tid,
+                    "args": {"name": resource},
+                }
+            )
+        return self._tids[resource]
+
+    def add_slice(
+        self,
+        name: str,
+        resource: str,
+        start_s: float,
+        duration_s: float,
+        **args,
+    ) -> None:
+        """Record one task execution (seconds in, microseconds out)."""
+        if duration_s < 0:
+            raise ScheduleError("duration must be non-negative")
+        self._events.append(
+            {
+                "name": name,
+                "ph": "X",
+                "ts": start_s * 1e6,
+                "dur": duration_s * 1e6,
+                "pid": 0,
+                "tid": self._tid(resource),
+                "args": args,
+            }
+        )
+
+    @property
+    def num_slices(self) -> int:
+        return sum(1 for e in self._events if e.get("ph") == "X")
+
+    def to_json(self, indent: int | None = None) -> str:
+        doc = {
+            "traceEvents": self._events,
+            "displayTimeUnit": "ms",
+            "otherData": {"process": self.process_name},
+        }
+        return json.dumps(doc, indent=indent)
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json())
+
+
+class _TracingStreams(StreamSet):
+    """StreamSet whose resources report into a ChromeTraceBuilder."""
+
+
+def trace_decode_schedule(
+    costs_per_token: list[TaskCosts],
+    num_layers: int,
+    num_gpu_batches: int,
+    builder: ChromeTraceBuilder | None = None,
+) -> ChromeTraceBuilder:
+    """Replay Algorithm 1 for the given per-token costs, capturing slices.
+
+    A faithful re-run of :class:`~repro.runtime.executor.OverlappedExecutor`'s
+    schedule with per-slice capture (the executor itself stays lean).
+    """
+    if num_layers <= 0 or num_gpu_batches <= 0:
+        raise ScheduleError("num_layers and num_gpu_batches must be positive")
+    builder = builder or ChromeTraceBuilder()
+    sim = EventSim()
+
+    def run(kind: TaskKind, duration: float, ready: float, label: str) -> float:
+        if duration == 0:
+            return ready
+        resource = TASK_RESOURCE[kind]
+        start, end = sim.resource(resource).run(duration, ready)
+        builder.add_slice(label, resource, start, duration)
+        return end
+
+    prev_compute_done = 0.0
+    for token, costs in enumerate(costs_per_token):
+        for layer in range(num_layers):
+            for k in range(num_gpu_batches):
+                tag = f"t{token}.l{layer}.b{k}"
+                run(TaskKind.LOAD_WEIGHT, costs.load_weight, 0.0, f"load_weight {tag}")
+                cache_ready = run(
+                    TaskKind.LOAD_CACHE, costs.load_cache, 0.0, f"load_cache {tag}"
+                )
+                act_ready = run(
+                    TaskKind.LOAD_ACTIVATION, costs.load_activation, 0.0,
+                    f"load_activation {tag}",
+                )
+                ready = max(cache_ready, act_ready)
+                start, end = sim.resource("compute").run(costs.compute, ready)
+                builder.add_slice(f"compute {tag}", "compute", start, costs.compute)
+                run(
+                    TaskKind.STORE_CACHE, costs.store_cache, prev_compute_done,
+                    f"store_cache {tag}",
+                )
+                run(
+                    TaskKind.STORE_ACTIVATION, costs.store_activation,
+                    prev_compute_done, f"store_activation {tag}",
+                )
+                prev_compute_done = end
+    return builder

@@ -1,0 +1,71 @@
+"""Smoke + shape tests for the experiment runners (the benchmark layer).
+
+The heavyweight assertions live in the benchmarks; these tests pin the
+runners' output *schemas* so the CLI, examples and EXPERIMENTS.md
+generator cannot silently drift.
+"""
+
+import pytest
+
+from repro.bench import (
+    run_fig3_quant_strategies,
+    run_fig4_breakdown,
+    run_fig7_effective_quantization,
+    run_fig9_multigpu,
+    run_tab1_io_traffic,
+    run_tab3_overall,
+)
+
+
+def test_fig3_schema():
+    rows = run_fig3_quant_strategies()
+    assert len(rows) == 8
+    assert all({"strategy", "tokens_per_s"} <= set(r) for r in rows)
+    strategies = {r["strategy"] for r in rows}
+    assert {"cpu/none", "gpu/kv4", "gpu/w4+kv4"} <= strategies
+
+
+def test_fig4_schema():
+    rows = run_fig4_breakdown()
+    for r in rows:
+        assert r["total_s"] == pytest.approx(
+            r["quantize_s"] + r["dequantize_s"] + r["other_s"], rel=0.02
+        )
+
+
+def test_tab1_schema():
+    rows = run_tab1_io_traffic()
+    cases = {r["case"] for r in rows}
+    assert cases == {"with_offload", "without_offload"}
+    assert all(r["gb_per_token"] >= 0 for r in rows)
+
+
+def test_tab3_single_model_schema():
+    rows = run_tab3_overall(models=("opt-30b",), gen_lens=(8,))
+    assert len(rows) == 3
+    frameworks = [r["framework"] for r in rows]
+    assert frameworks == ["flexgen", "zero-inference", "lm-offload"]
+    lm_row = rows[2]
+    assert lm_row["norm_tput"] == pytest.approx(1.0)
+    assert rows[0]["paper_tput"] == 51
+
+
+def test_tab3_zero_uses_paper_batch():
+    rows = run_tab3_overall(models=("opt-66b",), gen_lens=(64,))
+    zr = [r for r in rows if r["framework"] == "zero-inference"][0]
+    assert zr["bsz"] == 4  # the paper's measured ZeRO batch for this row
+
+
+def test_fig7_schema():
+    rows = run_fig7_effective_quantization(models=("opt-30b",), gen_lens=(8, 128))
+    assert len(rows) == 2
+    for r in rows:
+        assert r["gain"] == pytest.approx(
+            r["lm_offload_no_pc"] / r["flexgen"], rel=0.02
+        )
+
+
+def test_fig9_schema():
+    rows = run_fig9_multigpu(models=("opt-13b",), gpu_counts=(1, 2))
+    assert [r["gpus"] for r in rows] == [1, 2]
+    assert all(r["lm_offload"] > 0 and r["flexgen"] > 0 for r in rows)

@@ -1,0 +1,99 @@
+import dataclasses
+
+import pytest
+
+from repro.calibration import CalibrationObservation, fit_calibration
+from repro.calibration.fit import predict_throughput
+from repro.errors import ConfigError
+from repro.models import get_model
+from repro.offload import OffloadPolicy
+from repro.perfmodel import Workload
+from repro.perfmodel.constants import EngineCalibration
+
+
+def make_obs(hw, ctx, calibration, gen_len=16):
+    """Synthesise 'measurements' from a known ground-truth calibration."""
+    out = []
+    for wg, attn in [(0.4, True), (0.2, True), (0.5, False)]:
+        workload = Workload(get_model("opt-30b"), 64, gen_len, 64, 10)
+        policy = OffloadPolicy(
+            wg=wg, hg=1.0, attention_on_cpu=attn,
+            gpu_batch_size=64, num_gpu_batches=10,
+        )
+        obs = CalibrationObservation(
+            workload=workload, policy=policy,
+            observed_tput=predict_throughput(
+                CalibrationObservation(workload, policy, 1.0), hw, ctx, calibration
+            ),
+        )
+        out.append(obs)
+    return out
+
+
+def test_fit_recovers_perturbed_truth(hw, default_ctx):
+    """Generate observations from a perturbed calibration, start the fit
+    from defaults, and require the fit to (nearly) eliminate the error."""
+    truth = dataclasses.replace(
+        EngineCalibration.paper_defaults(), pcie_efficiency=0.5
+    )
+    observations = make_obs(hw, default_ctx, truth)
+    result = fit_calibration(
+        observations, hw, default_ctx, parameters=("pcie_efficiency",)
+    )
+    assert result.residual_rms < 0.05
+    assert result.calibration.pcie_efficiency == pytest.approx(0.5, rel=0.15)
+
+
+def test_fit_identity_when_already_calibrated(hw, default_ctx):
+    base = EngineCalibration.paper_defaults()
+    observations = make_obs(hw, default_ctx, base)
+    result = fit_calibration(
+        observations, hw, default_ctx,
+        parameters=("pcie_efficiency", "attention.cpu_bw_per_thread"),
+    )
+    assert result.residual_rms < 0.02
+    for mult in result.multipliers.values():
+        assert mult == pytest.approx(1.0, rel=0.3)
+
+
+def test_fit_predictions_returned(hw, default_ctx):
+    base = EngineCalibration.paper_defaults()
+    observations = make_obs(hw, default_ctx, base)
+    result = fit_calibration(observations, hw, default_ctx)
+    assert len(result.predicted) == len(observations)
+    for pred, obs in zip(result.predicted, observations):
+        assert pred == pytest.approx(obs.observed_tput, rel=0.1)
+
+
+def test_fit_validates_inputs(hw, default_ctx):
+    with pytest.raises(ConfigError):
+        fit_calibration([], hw, default_ctx)
+    workload = Workload(get_model("opt-30b"), 64, 8, 64, 10)
+    policy = OffloadPolicy(
+        wg=0.4, hg=1.0, gpu_batch_size=64, num_gpu_batches=10
+    )
+    obs = CalibrationObservation(workload, policy, 50.0)
+    with pytest.raises(ConfigError, match="unknown fittable"):
+        fit_calibration([obs], hw, default_ctx, parameters=("nonsense",))
+
+
+def test_observation_validates_tput():
+    workload = Workload(get_model("opt-30b"), 64, 8, 64, 10)
+    policy = OffloadPolicy(gpu_batch_size=64, num_gpu_batches=10)
+    with pytest.raises(ConfigError):
+        CalibrationObservation(workload, policy, 0.0)
+
+
+def test_fit_respects_pcie_upper_bound(hw, default_ctx):
+    """pcie_efficiency can never be fitted above 1.0 (physics)."""
+    workload = Workload(get_model("opt-30b"), 64, 8, 64, 10)
+    policy = OffloadPolicy(
+        wg=0.0, hg=1.0, attention_on_cpu=True,
+        gpu_batch_size=64, num_gpu_batches=10,
+    )
+    # Claim an absurdly high observed throughput.
+    obs = CalibrationObservation(workload, policy, 1e6)
+    result = fit_calibration(
+        [obs], hw, default_ctx, parameters=("pcie_efficiency",)
+    )
+    assert result.calibration.pcie_efficiency <= 1.0 + 1e-9

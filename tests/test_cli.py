@@ -1,0 +1,84 @@
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv) -> str:
+    code = main(list(argv))
+    assert code == 0
+    return capsys.readouterr().out
+
+
+def test_models_command(capsys):
+    out = run_cli(capsys, "models")
+    assert "opt-30b" in out
+    assert "llama-65b" in out
+    assert "29.6" in out  # OPT-30B parameter count in billions
+
+
+def test_run_single_engine(capsys):
+    out = run_cli(capsys, "run", "--engine", "flexgen", "--gen-len", "8")
+    assert "flexgen" in out
+    assert "tput" in out
+
+
+def test_run_all_engines(capsys):
+    out = run_cli(capsys, "run", "--gen-len", "8")
+    for name in ("lm-offload", "flexgen", "zero-inference"):
+        assert name in out
+
+
+def test_plan_command_saves_policy(capsys, tmp_path):
+    path = tmp_path / "policy.json"
+    out = run_cli(
+        capsys, "plan", "--gen-len", "8", "--save", str(path)
+    )
+    assert "policy:" in out
+    from repro.offload.serialization import policy_from_json
+
+    policy = policy_from_json(path.read_text())
+    assert policy.block_size == 640
+
+
+def test_experiment_command_tab1(capsys):
+    out = run_cli(capsys, "experiment", "tab1")
+    assert "kv_cache" in out
+
+
+def test_experiment_command_fig5(capsys):
+    out = run_cli(capsys, "experiment", "fig5")
+    assert "[intra]" in out and "[inter]" in out
+
+
+def test_experiment_command_fig8_json(capsys):
+    out = run_cli(capsys, "experiment", "fig8")
+    assert "compute_reduction" in out
+
+
+def test_whatif_command(capsys):
+    out = run_cli(capsys, "whatif", "--gen-len", "8")
+    assert "pcie3-x16" in out
+    assert "h100-like" in out
+
+
+def test_trace_command(capsys, tmp_path):
+    path = tmp_path / "trace.json"
+    out = run_cli(
+        capsys, "trace", "--gen-len", "8", "--tokens", "1", "--layers", "2",
+        "--output", str(path),
+    )
+    assert "slices" in out
+    doc = json.loads(path.read_text())
+    assert any(e.get("ph") == "X" for e in doc["traceEvents"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_parser_rejects_unknown_experiment():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["experiment", "fig99"])

@@ -1,0 +1,90 @@
+import pytest
+
+from repro.errors import MemoryCapacityError
+from repro.hardware.memory import MemoryPool
+
+
+@pytest.fixture
+def pool() -> MemoryPool:
+    return MemoryPool(name="gpu0", capacity=1000)
+
+
+def test_allocate_and_free(pool):
+    pool.allocate("a", 400)
+    assert pool.used == 400
+    assert pool.free == 600
+    assert pool.release("a") == 400
+    assert pool.used == 0
+
+
+def test_overflow_raises_with_details(pool):
+    pool.allocate("a", 900)
+    with pytest.raises(MemoryCapacityError) as exc:
+        pool.allocate("b", 200)
+    assert exc.value.pool == "gpu0"
+    assert exc.value.requested == 200
+    assert exc.value.available == 100
+
+
+def test_duplicate_handle_rejected(pool):
+    pool.allocate("a", 1)
+    with pytest.raises(ValueError, match="already allocated"):
+        pool.allocate("a", 1)
+
+
+def test_fractional_bytes_round_up(pool):
+    pool.allocate("half", 0.5)
+    assert pool.size_of("half") == 1
+
+
+def test_resize_grows_and_shrinks(pool):
+    pool.allocate("kv", 100)
+    pool.resize("kv", 600)
+    assert pool.used == 600
+    pool.resize("kv", 50)
+    assert pool.used == 50
+
+
+def test_resize_overflow(pool):
+    pool.allocate("kv", 100)
+    pool.allocate("other", 850)
+    with pytest.raises(MemoryCapacityError):
+        pool.resize("kv", 200)
+
+
+def test_resize_unknown_handle(pool):
+    with pytest.raises(KeyError):
+        pool.resize("ghost", 10)
+
+
+def test_release_unknown_handle(pool):
+    with pytest.raises(KeyError):
+        pool.release("ghost")
+
+
+def test_utilization(pool):
+    pool.allocate("a", 250)
+    assert pool.utilization == pytest.approx(0.25)
+
+
+def test_holds_and_handles(pool):
+    pool.allocate("b", 1)
+    pool.allocate("a", 1)
+    assert pool.holds("a") and not pool.holds("c")
+    assert pool.handles() == ["a", "b"]
+
+
+def test_clear(pool):
+    pool.allocate("a", 10)
+    pool.clear()
+    assert pool.used == 0 and not pool.holds("a")
+
+
+def test_zero_capacity_rejected():
+    with pytest.raises(ValueError):
+        MemoryPool(name="bad", capacity=0)
+
+
+def test_negative_allocation_rejected(pool):
+    with pytest.raises(ValueError):
+        pool.allocate("neg", -5)

@@ -1,0 +1,139 @@
+"""Integration tests asserting the paper's headline result *shapes*.
+
+These are the claims DESIGN.md commits to reproducing.  Bands are
+deliberately loose: the substrate is a calibrated simulator, so orderings
+and rough ratios are asserted, not absolute numbers.
+"""
+
+import pytest
+
+from repro.bench import (
+    run_fig3_quant_strategies,
+    run_fig5_parallelism_sweep,
+    run_fig8_parallelism_control,
+    run_tab1_io_traffic,
+    run_tab5_llc_misses,
+)
+
+
+@pytest.fixture(scope="module")
+def fig3():
+    rows = run_fig3_quant_strategies()
+    return {r["strategy"]: r["tokens_per_s"] for r in rows}
+
+
+class TestObservation1:
+    """Attention offloading flips the sign of quantization's benefit."""
+
+    def test_quant_hurts_with_attention_offload(self, fig3):
+        # Paper: 41 -> 32 tokens/s (KV quantization under CPU attention).
+        assert fig3["cpu/kv4"] < fig3["cpu/none"] * 0.9
+        assert fig3["cpu/w4+kv4"] < fig3["cpu/none"] * 0.9
+        assert fig3["cpu/w4"] <= fig3["cpu/none"] * 1.02
+
+    def test_quant_helps_without_attention_offload(self, fig3):
+        # Paper: 46 -> 82 tokens/s with KV4.
+        assert fig3["gpu/kv4"] > fig3["gpu/none"] * 1.4
+
+    def test_placements_comparable_without_quant(self, fig3):
+        # Paper: 41 vs 46 tokens/s.
+        ratio = fig3["cpu/none"] / fig3["gpu/none"]
+        assert 0.6 < ratio < 1.4
+
+
+class TestObservation2:
+    """Different tensors deserve different quantization decisions."""
+
+    def test_kv_only_is_best_gpu_strategy(self, fig3):
+        assert fig3["gpu/kv4"] == max(
+            fig3[s] for s in ("gpu/none", "gpu/w4", "gpu/kv4", "gpu/w4+kv4")
+        )
+
+    def test_weight_only_is_worst_gpu_quant(self, fig3):
+        # Paper: W4 (35) < none (46) < both (55) < KV4 (82).
+        assert fig3["gpu/w4"] < fig3["gpu/none"]
+        assert fig3["gpu/w4"] < fig3["gpu/w4+kv4"] < fig3["gpu/kv4"]
+
+
+class TestTable1:
+    def test_io_traffic_shape(self):
+        rows = {
+            (r["case"], r["direction"], r["tensor"]): r["gb_per_token"]
+            for r in run_tab1_io_traffic()
+        }
+        # KV never crosses the link with attention offloaded.
+        assert rows[("with_offload", "cpu->gpu", "kv_cache")] == 0.0
+        # Without offloading, KV dominates everything (paper: 78.72 GB).
+        kv = rows[("without_offload", "cpu->gpu", "kv_cache")]
+        assert kv > 50
+        assert kv > rows[("without_offload", "cpu->gpu", "weights")]
+        # Activations are ~two orders of magnitude smaller than KV.
+        assert rows[("without_offload", "cpu->gpu", "activation")] < kv / 50
+        # Offloading attention loads *fewer* weights (more GPU residency).
+        assert (
+            rows[("with_offload", "cpu->gpu", "weights")]
+            < rows[("without_offload", "cpu->gpu", "weights")]
+        )
+
+
+class TestFigure5:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return run_fig5_parallelism_sweep()
+
+    def test_intra_rises_then_saturates(self, sweep):
+        tput = {r["threads"]: r["tokens_per_s"] for r in sweep["intra"]}
+        assert tput[4] > tput[1] * 1.3
+        # Past the saturation point gains are small / negative (paper:
+        # stable beyond 8 threads).
+        assert abs(tput[56] - tput[8]) < tput[8] * 0.35
+
+    def test_inter_has_interior_optimum(self, sweep):
+        tput = {r["threads"]: r["tokens_per_s"] for r in sweep["inter"]}
+        best = max(tput, key=tput.get)
+        # Paper's optimum is 12; our contention model places it lower but
+        # strictly inside (1, 112) — and the default 112 is clearly bad.
+        assert 1 < best < 112
+        assert tput[best] > tput[112] * 1.2
+
+    def test_default_settings_suboptimal(self, sweep):
+        """The motivating claim of §4: defaults leave performance on the
+        table (up to ~40% variance observed in the paper)."""
+        intra = {r["threads"]: r["tokens_per_s"] for r in sweep["intra"]}
+        best = max(intra.values())
+        assert best > intra[56] * 1.15
+
+
+class TestFigure8AndTable5:
+    @pytest.fixture(scope="class")
+    def fig8(self):
+        return run_fig8_parallelism_control()
+
+    def test_compute_benefits_most(self, fig8):
+        reductions = {
+            k: 1 - fig8["controlled_tasks_s"][k] / v
+            for k, v in fig8["default_tasks_s"].items()
+            if v > 0
+        }
+        assert max(reductions, key=reductions.get) == "compute"
+
+    def test_compute_reduction_band(self, fig8):
+        # Paper: -32%; accept a generous band around it.
+        assert 0.15 < fig8["compute_reduction"] < 0.65
+
+    def test_end_to_end_reduction_band(self, fig8):
+        # Paper: -38%.
+        assert 0.15 < fig8["end_to_end_reduction"] < 0.6
+
+    def test_llc_misses_drop(self):
+        tab5 = run_tab5_llc_misses()
+        # Paper: -38% for loads and stores alike.
+        assert 0.2 < tab5["reduction"] < 0.6
+        assert tab5["controlled"]["load"] < tab5["default"]["load"]
+        assert tab5["controlled"]["store"] < tab5["default"]["store"]
+
+    def test_llc_store_load_ratio(self):
+        tab5 = run_tab5_llc_misses()
+        # Paper Table 5: stores miss ~1.9x more than loads.
+        ratio = tab5["default"]["store"] / tab5["default"]["load"]
+        assert 1.5 < ratio < 2.3

@@ -1,0 +1,100 @@
+import numpy as np
+import pytest
+
+from repro.models.layers import (
+    attention_scores,
+    gelu,
+    layer_norm,
+    merge_heads,
+    mlp,
+    self_attention,
+    softmax,
+    split_heads,
+)
+
+
+def test_softmax_rows_sum_to_one(rng):
+    x = rng.standard_normal((4, 7)).astype(np.float32)
+    s = softmax(x)
+    assert np.allclose(s.sum(axis=-1), 1.0, atol=1e-6)
+
+
+def test_softmax_stable_for_large_inputs():
+    x = np.array([[1e4, 1e4 + 1.0]], dtype=np.float32)
+    s = softmax(x)
+    assert np.all(np.isfinite(s))
+    assert s[0, 1] > s[0, 0]
+
+
+def test_layer_norm_normalizes(rng):
+    x = rng.standard_normal((2, 3, 16)).astype(np.float32) * 10 + 5
+    y = layer_norm(x, np.ones(16, np.float32), np.zeros(16, np.float32))
+    assert np.allclose(y.mean(-1), 0.0, atol=1e-4)
+    assert np.allclose(y.var(-1), 1.0, atol=1e-2)
+
+
+def test_gelu_limits():
+    assert gelu(np.array([0.0]))[0] == pytest.approx(0.0)
+    assert gelu(np.array([10.0]))[0] == pytest.approx(10.0, rel=1e-3)
+    assert gelu(np.array([-10.0]))[0] == pytest.approx(0.0, abs=1e-3)
+
+
+def test_split_merge_roundtrip(rng):
+    x = rng.standard_normal((2, 5, 32)).astype(np.float32)
+    assert np.array_equal(merge_heads(split_heads(x, 4)), x)
+
+
+def test_split_heads_requires_divisibility(rng):
+    with pytest.raises(ValueError):
+        split_heads(rng.standard_normal((1, 2, 30)).astype(np.float32), 4)
+
+
+def test_causal_mask_blocks_future(rng):
+    q = rng.standard_normal((1, 2, 4, 8)).astype(np.float32)
+    k = rng.standard_normal((1, 2, 4, 8)).astype(np.float32)
+    probs = attention_scores(q, k, causal_mask=True)
+    # Upper triangle (future positions) must carry zero probability.
+    upper = np.triu(np.ones((4, 4)), k=1).astype(bool)
+    assert np.all(probs[..., upper] == 0.0)
+
+
+def test_causal_mask_with_kv_cache_offset(rng):
+    # One new query over 5 cached keys: it may attend to all of them.
+    q = rng.standard_normal((1, 2, 1, 8)).astype(np.float32)
+    k = rng.standard_normal((1, 2, 5, 8)).astype(np.float32)
+    probs = attention_scores(q, k, causal_mask=True)
+    assert np.all(probs > 0)
+    assert probs.shape == (1, 2, 1, 5)
+
+
+def test_causal_mask_rejects_short_keys(rng):
+    q = rng.standard_normal((1, 1, 5, 8)).astype(np.float32)
+    k = rng.standard_normal((1, 1, 3, 8)).astype(np.float32)
+    with pytest.raises(ValueError):
+        attention_scores(q, k)
+
+
+def test_self_attention_shape(rng):
+    q = rng.standard_normal((2, 4, 3, 8)).astype(np.float32)
+    k = rng.standard_normal((2, 4, 7, 8)).astype(np.float32)
+    v = rng.standard_normal((2, 4, 7, 8)).astype(np.float32)
+    out = self_attention(q, k, v)
+    assert out.shape == (2, 3, 32)
+
+
+def test_attention_is_convex_combination_of_values(rng):
+    # With a single head and value vectors in [0,1], outputs stay in [0,1].
+    q = rng.standard_normal((1, 1, 2, 4)).astype(np.float32)
+    k = rng.standard_normal((1, 1, 2, 4)).astype(np.float32)
+    v = rng.random((1, 1, 2, 4)).astype(np.float32)
+    out = self_attention(q, k, v, causal_mask=False)
+    assert out.min() >= 0.0 - 1e-6
+    assert out.max() <= 1.0 + 1e-6
+
+
+def test_mlp_shapes(rng):
+    x = rng.standard_normal((2, 3, 8)).astype(np.float32)
+    w_in = rng.standard_normal((8, 32)).astype(np.float32)
+    w_out = rng.standard_normal((32, 8)).astype(np.float32)
+    y = mlp(x, w_in, np.zeros(32, np.float32), w_out, np.zeros(8, np.float32))
+    assert y.shape == x.shape

@@ -1,0 +1,70 @@
+import pytest
+
+from repro.errors import ConfigError
+from repro.models import get_model
+from repro.multigpu import PipelineParallelRunner, weak_scaling_sweep
+from repro.multigpu.pipeline_parallel import _split_layers
+from repro.perfmodel import Workload
+
+
+def test_split_layers_near_equal():
+    assert _split_layers(40, 4) == (10, 10, 10, 10)
+    assert _split_layers(41, 4) == (11, 10, 10, 10)
+    assert sum(_split_layers(60, 3)) == 60
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return weak_scaling_sweep(get_model("opt-13b"), gpu_counts=(1, 2, 4))
+
+
+def test_weak_scaling_batch_doubles(sweep):
+    blocks = [r.workload.block_size for r in sweep["flexgen"]]
+    assert blocks[1] == 2 * blocks[0]
+    assert blocks[2] == 4 * blocks[0]
+
+
+def test_lm_offload_never_slower(sweep):
+    for fg, lm in zip(sweep["flexgen"], sweep["lm-offload"]):
+        assert lm.throughput >= fg.throughput * 0.99
+
+
+def test_gap_grows_with_gpus(sweep):
+    """Figure 9's headline: the LM-Offload/FlexGen gap widens as GPUs are
+    added (shared host DRAM feeds saturate FlexGen's uncompressed
+    streams first)."""
+    gains = [
+        lm.throughput / fg.throughput
+        for fg, lm in zip(sweep["flexgen"], sweep["lm-offload"])
+    ]
+    assert gains[2] > gains[1] >= gains[0] * 0.99
+    assert gains[2] > 1.3
+
+
+def test_lm_offload_scales_better(sweep):
+    fg_scaling = sweep["flexgen"][2].throughput / sweep["flexgen"][0].throughput
+    lm_scaling = sweep["lm-offload"][2].throughput / sweep["lm-offload"][0].throughput
+    assert lm_scaling > fg_scaling
+
+
+def test_stage_layers_cover_model(sweep):
+    model = get_model("opt-13b")
+    for report in sweep["flexgen"]:
+        assert sum(report.stage_layers) == model.num_layers
+
+
+def test_invalid_gpu_count():
+    runner = PipelineParallelRunner(engine_name="x")
+    model = get_model("opt-13b")
+    workload = Workload(model, 256, 64, 32, 4)
+    with pytest.raises(ConfigError):
+        runner.run(model, 0, workload)
+
+
+def test_single_gpu_no_fill_latency():
+    runner = PipelineParallelRunner(engine_name="x")
+    model = get_model("opt-13b")
+    workload = Workload(model, 256, 64, 32, 4)
+    report = runner.run(model, 1, workload)
+    assert report.fill_seconds == 0.0
+    assert report.per_token_seconds > 0

@@ -1,0 +1,92 @@
+import pytest
+
+from repro.models import get_model
+from repro.perfmodel import Workload
+from repro.perfmodel.constants import CodecRates
+from repro.perfmodel.quant_model import (
+    NORM_FLOPS_PER_ELEMENT,
+    kv_quant_overheads,
+    weight_quant_overheads,
+)
+
+
+@pytest.fixture
+def workload() -> Workload:
+    return Workload(get_model("opt-30b"), 64, 128, 64, 10)
+
+
+def test_weight_overheads_scale_with_wc(workload):
+    half = weight_quant_overheads(workload, wc=0.5)
+    full = weight_quant_overheads(workload, wc=1.0)
+    assert full.quantize_seconds == pytest.approx(2 * half.quantize_seconds)
+    assert full.dequantize_seconds == pytest.approx(2 * half.dequantize_seconds)
+
+
+def test_weight_overheads_zero_when_nothing_offloaded(workload):
+    over = weight_quant_overheads(workload, wc=0.0)
+    assert over.quantize_seconds == 0.0
+    assert over.dequantize_seconds == 0.0
+
+
+def test_weight_wc_bounds(workload):
+    with pytest.raises(ValueError):
+        weight_quant_overheads(workload, wc=1.5)
+
+
+def test_eq13_minmax_structure(workload):
+    """Eq. 13: scan cost = elements / rate."""
+    rates = CodecRates(cpu_scan_eps=1e9)
+    over = weight_quant_overheads(workload, wc=1.0, rates=rates)
+    expected = workload.model.weights_per_layer / 1e9
+    assert over.minmax_seconds == pytest.approx(expected)
+
+
+def test_eq14_norm_is_three_flops_per_element(workload):
+    rates = CodecRates(cpu_norm_flops=1e12)
+    over = weight_quant_overheads(workload, wc=1.0, rates=rates)
+    expected = workload.model.weights_per_layer * NORM_FLOPS_PER_ELEMENT / 1e12
+    assert over.norm_seconds == pytest.approx(expected)
+
+
+def test_eq16_dequant_has_no_minmax(workload):
+    over = weight_quant_overheads(workload, wc=1.0)
+    assert over.dequantize_seconds == pytest.approx(
+        over.de_norm_seconds + over.de_postprocess_seconds
+    )
+
+
+def test_kv_prefill_vs_new_ratio(workload):
+    """Eq. 17 vs Eq. 19: prefill covers s+1 tokens, 'new' covers one."""
+    over = kv_quant_overheads(workload)
+    ratio = over.prefill_quant_seconds / over.new_quant_seconds
+    assert ratio == pytest.approx(workload.prompt_len + 1, rel=0.01)
+
+
+def test_kv_old_cache_grows_with_token_index(workload):
+    early = kv_quant_overheads(workload, token_idx=0)
+    late = kv_quant_overheads(workload, token_idx=100)
+    assert late.old_dequant_seconds > early.old_dequant_seconds
+
+
+def test_kv_average_matches_eq18(workload):
+    """The default (token_idx=None) uses the s + n/2 average of Eq. 18."""
+    avg = kv_quant_overheads(workload).old_dequant_seconds
+    mid = kv_quant_overheads(workload, token_idx=63).old_dequant_seconds
+    assert avg == pytest.approx(mid, rel=0.05)
+
+
+def test_kv_cpu_device_slower_than_gpu(workload):
+    gpu = kv_quant_overheads(workload, device="gpu")
+    cpu = kv_quant_overheads(workload, device="cpu")
+    assert cpu.old_dequant_seconds > gpu.old_dequant_seconds
+
+
+def test_kv_invalid_device(workload):
+    with pytest.raises(ValueError):
+        kv_quant_overheads(workload, device="tpu")
+
+
+def test_kv_overheads_scale_with_block_size():
+    small = kv_quant_overheads(Workload(get_model("opt-30b"), 64, 8, 64, 1))
+    large = kv_quant_overheads(Workload(get_model("opt-30b"), 64, 8, 64, 10))
+    assert large.new_quant_seconds == pytest.approx(10 * small.new_quant_seconds)

@@ -1,0 +1,102 @@
+"""Property-based tests on the scheduler and overlap model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel.controller import schedule_makespan
+from repro.runtime.graph import OpGraph, OpNode
+from repro.runtime.tasks import TaskCosts
+from repro.runtime.executor import OverlappedExecutor
+
+
+@st.composite
+def random_dag(draw):
+    """A random DAG with positive op durations (edges only point forward)."""
+    n = draw(st.integers(2, 15))
+    durations = draw(
+        st.lists(
+            st.floats(0.001, 1.0, allow_nan=False), min_size=n, max_size=n
+        )
+    )
+    edges = []
+    for j in range(1, n):
+        preds = draw(
+            st.lists(st.integers(0, j - 1), unique=True, max_size=min(j, 3))
+        )
+        edges.append(preds)
+    g = OpGraph()
+    for i in range(n):
+        deps = [f"op{p}" for p in (edges[i - 1] if i >= 1 else [])]
+        g.add_op(OpNode(f"op{i}", work=durations[i]), deps=deps)
+    return g, durations
+
+
+@given(data=random_dag(), slots=st.integers(1, 8))
+@settings(max_examples=80, deadline=None)
+def test_makespan_bounds(data, slots):
+    """Any list schedule satisfies the classic bounds:
+    max(critical path, total/slots) <= makespan <= total work."""
+    graph, durations = data
+    makespan = schedule_makespan(graph, slots, lambda n: graph.node(n).work)
+    total = sum(durations)
+    critical = graph.critical_path_work()
+    assert makespan <= total + 1e-9
+    assert makespan >= critical - 1e-9
+    assert makespan >= total / slots - 1e-9
+
+
+@given(data=random_dag())
+@settings(max_examples=40, deadline=None)
+def test_more_slots_never_hurt(data):
+    graph, _ = data
+    times = [
+        schedule_makespan(graph, s, lambda n: graph.node(n).work)
+        for s in (1, 2, 4, 16)
+    ]
+    # Greedy list scheduling on a fixed priority order is monotone here
+    # because op durations don't depend on the slot count.
+    assert times[0] >= times[-1] - 1e-9
+    assert times[0] == pytest.approx(graph.total_work())
+
+
+task_floats = st.floats(0.0, 0.1, allow_nan=False)
+
+
+@given(
+    lw=task_floats, lc=task_floats, la=task_floats,
+    sc=task_floats, sa=task_floats, comp=task_floats,
+    layers=st.integers(1, 4), batches=st.integers(1, 3),
+)
+@settings(max_examples=40, deadline=None)
+def test_executor_bounded_by_serial_and_bottleneck(
+    lw, lc, la, sc, sa, comp, layers, batches
+):
+    """The overlapped executor's steady-state token time always lies
+    between the bottleneck-resource bound and the fully-serial bound."""
+    costs = TaskCosts(
+        load_weight=lw, load_cache=lc, load_activation=la,
+        store_cache=sc, store_activation=sa, compute=comp,
+    )
+    if costs.serial_time() == 0:
+        return
+    ex = OverlappedExecutor(num_layers=layers, num_gpu_batches=batches)
+    marginal = ex.steady_state_token_time(costs, warmup=3)
+    iters = layers * batches
+    h2d = lw + lc + la
+    d2h = sc + sa
+    lower = max(h2d, d2h, comp) * iters
+    upper = costs.serial_time() * iters
+    assert marginal >= lower * (1 - 1e-6)
+    assert marginal <= upper * (1 + 1e-6) + 1e-9
+
+
+@given(
+    values=st.lists(st.floats(0.001, 1.0, allow_nan=False), min_size=6, max_size=6)
+)
+@settings(max_examples=50, deadline=None)
+def test_step_time_max_property(values):
+    costs = TaskCosts(*values)
+    assert costs.step_time() == max(values)
+    assert costs.serial_time() == pytest.approx(sum(values))

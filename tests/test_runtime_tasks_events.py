@@ -1,0 +1,87 @@
+import pytest
+
+from repro.runtime.events import EventSim, Resource
+from repro.runtime.streams import StreamSet
+from repro.runtime.tasks import TASK_RESOURCE, TaskCosts, TaskKind
+
+
+def test_step_time_is_max_of_six():
+    c = TaskCosts(load_weight=3, load_cache=1, load_activation=0.1,
+                  store_cache=2, store_activation=0.1, compute=2.5)
+    assert c.step_time() == 3
+    assert c.bottleneck() is TaskKind.LOAD_WEIGHT
+
+
+def test_serial_time_is_sum():
+    c = TaskCosts(load_weight=1, compute=2)
+    assert c.serial_time() == pytest.approx(3)
+
+
+def test_negative_cost_rejected():
+    with pytest.raises(ValueError):
+        TaskCosts(compute=-1)
+
+
+def test_scaled():
+    c = TaskCosts(load_weight=2, compute=4).scaled(0.5)
+    assert c.load_weight == 1 and c.compute == 2
+    with pytest.raises(ValueError):
+        c.scaled(-1)
+
+
+def test_elementwise_max():
+    a = TaskCosts(load_weight=1, compute=5)
+    b = TaskCosts(load_weight=2, compute=3)
+    m = TaskCosts.elementwise_max(a, b)
+    assert m.load_weight == 2 and m.compute == 5
+
+
+def test_every_task_has_a_resource():
+    assert set(TASK_RESOURCE) == set(TaskKind)
+    assert TASK_RESOURCE[TaskKind.LOAD_WEIGHT] == "h2d"
+    assert TASK_RESOURCE[TaskKind.STORE_CACHE] == "d2h"
+
+
+def test_resource_serializes_tasks():
+    r = Resource(name="gpu")
+    s1, e1 = r.run(2.0)
+    s2, e2 = r.run(3.0)
+    assert (s1, e1) == (0.0, 2.0)
+    assert (s2, e2) == (2.0, 5.0)
+    assert r.busy_time == 5.0
+    assert r.tasks_run == 2
+
+
+def test_resource_respects_ready_time():
+    r = Resource(name="gpu")
+    start, end = r.run(1.0, ready_at=10.0)
+    assert start == 10.0 and end == 11.0
+
+
+def test_resource_rejects_negative_duration():
+    with pytest.raises(ValueError):
+        Resource(name="x").run(-1.0)
+
+
+def test_eventsim_makespan_and_utilization():
+    sim = EventSim()
+    sim.run_task("a", 4.0)
+    sim.run_task("b", 1.0)
+    assert sim.makespan == 4.0
+    assert sim.utilization("a") == pytest.approx(1.0)
+    assert sim.utilization("b") == pytest.approx(0.25)
+
+
+def test_eventsim_reset():
+    sim = EventSim()
+    sim.run_task("a", 1.0)
+    sim.reset()
+    assert sim.makespan == 0.0
+
+
+def test_streamset_names():
+    streams = StreamSet.fresh()
+    assert streams.h2d.name == "h2d"
+    assert streams.d2h.name == "d2h"
+    assert streams.compute.name == "compute"
+    assert streams.cpu.name == "cpu"

@@ -1,0 +1,70 @@
+import json
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.runtime.tasks import TaskCosts
+from repro.trace import ChromeTraceBuilder, trace_decode_schedule
+
+
+def test_builder_slices_and_metadata():
+    b = ChromeTraceBuilder()
+    b.add_slice("load_weight t0", "h2d", 0.0, 0.001)
+    b.add_slice("compute t0", "compute", 0.001, 0.002, token=0)
+    assert b.num_slices == 2
+    doc = json.loads(b.to_json())
+    events = doc["traceEvents"]
+    xs = [e for e in events if e["ph"] == "X"]
+    assert xs[0]["ts"] == 0.0
+    assert xs[0]["dur"] == pytest.approx(1000.0)  # 1 ms in us
+    # Thread-name metadata precedes slices for each resource row.
+    meta = [e for e in events if e["ph"] == "M"]
+    assert {m["args"]["name"] for m in meta} == {"h2d", "compute"}
+
+
+def test_builder_rejects_negative_duration():
+    with pytest.raises(ScheduleError):
+        ChromeTraceBuilder().add_slice("x", "h2d", 0.0, -1.0)
+
+
+def test_trace_decode_schedule_counts():
+    costs = TaskCosts(load_weight=0.001, load_cache=0.0005, compute=0.002,
+                      store_cache=0.0003)
+    builder = trace_decode_schedule([costs, costs], num_layers=3, num_gpu_batches=2)
+    # 4 nonzero tasks x 2 tokens x 3 layers x 2 batches.
+    assert builder.num_slices == 4 * 2 * 3 * 2
+
+
+def test_trace_skips_zero_cost_tasks():
+    costs = TaskCosts(compute=0.001)
+    builder = trace_decode_schedule([costs], num_layers=1, num_gpu_batches=1)
+    assert builder.num_slices == 1
+
+
+def test_trace_slices_never_overlap_per_resource():
+    costs = TaskCosts(load_weight=0.002, load_cache=0.001, compute=0.004)
+    builder = trace_decode_schedule([costs] * 3, num_layers=2, num_gpu_batches=2)
+    doc = json.loads(builder.to_json())
+    by_tid: dict[int, list] = {}
+    for e in doc["traceEvents"]:
+        if e["ph"] == "X":
+            by_tid.setdefault(e["tid"], []).append((e["ts"], e["ts"] + e["dur"]))
+    for intervals in by_tid.values():
+        intervals.sort()
+        for (s1, e1), (s2, _) in zip(intervals, intervals[1:]):
+            assert s2 >= e1 - 1e-6  # FIFO resources: no overlap
+
+
+def test_trace_save(tmp_path):
+    builder = trace_decode_schedule(
+        [TaskCosts(compute=0.001)], num_layers=1, num_gpu_batches=1
+    )
+    path = tmp_path / "trace.json"
+    builder.save(str(path))
+    doc = json.loads(path.read_text())
+    assert doc["displayTimeUnit"] == "ms"
+
+
+def test_trace_invalid_geometry():
+    with pytest.raises(ScheduleError):
+        trace_decode_schedule([TaskCosts()], num_layers=0, num_gpu_batches=1)
