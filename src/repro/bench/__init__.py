@@ -7,6 +7,7 @@ bench can report measured-vs-paper shape checks.
 """
 
 from repro.bench.tables import format_table
+from repro.bench.timing import run_bench_timing, write_bench_timing
 from repro.bench.viz import hbar_chart, sparkline, sweep_summary
 from repro.bench.whatif import run_whatif, whatif_rows
 from repro.bench import paper_data
@@ -24,6 +25,8 @@ from repro.bench.experiments import (
 
 __all__ = [
     "format_table",
+    "run_bench_timing",
+    "write_bench_timing",
     "hbar_chart",
     "sparkline",
     "sweep_summary",

@@ -1,0 +1,135 @@
+"""Perf-regression harness for the planner/cost-model hot path.
+
+The analytic cost model is the product here — ``plan()`` is called inside
+sweeps (Tab. 3 runs it for every engine/model/batch cell), so its wall
+time gates every experiment.  This module times the three hot entry
+points on fixed workloads and writes ``BENCH_timing.json`` so a perf
+regression shows up as a number, not a feeling:
+
+* ``plan``      — ``LMOffloadEngine.plan`` on OPT-30B (s=64, n=32,
+  bsz=64, k=10), fresh engine per repeat so no cross-repeat cache
+  (contention memo, planner mem-cache) flatters the result;
+* ``breakdown`` — ``CostModel`` construction + ``breakdown()`` for the
+  policy ``plan`` chooses on that workload;
+* ``tab3``      — ``run_tab3_overall()``, the heaviest experiment sweep.
+
+``BASELINES`` pins the pre-optimization medians (measured on the same
+container this harness first shipped from) so ``speedup_vs_baseline``
+reports how much the vectorized cost path + planner caching bought.
+
+Run it with ``python -m repro bench-timing [--quick] [--output PATH]``.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+from typing import Any, Callable
+
+SCHEMA_VERSION = 1
+
+#: Pre-optimization medians (seconds) of each target, measured at the
+#: commit right before the vectorized cost path landed, same workloads,
+#: same methodology.  These are *reference points*, not assertions — CI
+#: machines differ; the JSON records the ratio for humans to eyeball.
+BASELINES: dict[str, float] = {
+    "plan": 0.712,
+    "breakdown": 9.35e-4,
+    "tab3": 12.52,
+}
+
+
+def _bench_workload():
+    from repro.models import get_model
+    from repro.perfmodel import Workload
+
+    return Workload(get_model("opt-30b"), 64, 32, 64, 10)
+
+
+def time_callable(
+    fn: Callable[[], Any],
+    repeats: int,
+    warmup: int = 1,
+) -> dict[str, Any]:
+    """Median/best wall time of ``fn`` over ``repeats`` calls."""
+    for _ in range(warmup):
+        fn()
+    times: list[float] = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return {
+        "median_s": statistics.median(times),
+        "best_s": min(times),
+        "repeats": repeats,
+    }
+
+
+def _with_baseline(name: str, result: dict[str, Any]) -> dict[str, Any]:
+    baseline = BASELINES[name]
+    result["baseline_median_s"] = baseline
+    result["speedup_vs_baseline"] = baseline / result["median_s"]
+    return result
+
+
+def run_bench_timing(quick: bool = False) -> dict[str, Any]:
+    """Time the hot entry points; returns the ``BENCH_timing.json`` payload.
+
+    ``quick`` trims repeat counts and skips the tab3 sweep — the CI smoke
+    configuration (verifies the harness runs, not the speedup).
+    """
+    from repro.core import LMOffloadEngine
+    from repro.hardware import single_a100
+    from repro.perfmodel import CostModel
+
+    workload = _bench_workload()
+    results: dict[str, Any] = {}
+
+    def fresh_plan():
+        # A fresh engine per repeat: the engine-lifetime caches (speedup
+        # memo, planner mem-cache) must not carry over, or repeat 2+
+        # would measure cache hits instead of a cold plan().
+        LMOffloadEngine(single_a100()).plan(workload)
+
+    results["plan"] = _with_baseline(
+        "plan", time_callable(fresh_plan, repeats=2 if quick else 5)
+    )
+
+    engine = LMOffloadEngine(single_a100())
+    policy, ctx, _ = engine.plan(workload)
+
+    def construct_and_breakdown():
+        CostModel(
+            workload, policy, engine.hw, ctx, engine.config.calibration
+        ).breakdown()
+
+    results["breakdown"] = _with_baseline(
+        "breakdown",
+        time_callable(construct_and_breakdown, repeats=20 if quick else 100),
+    )
+
+    if not quick:
+        from repro.bench.experiments import run_tab3_overall
+
+        results["tab3"] = _with_baseline(
+            "tab3", time_callable(run_tab3_overall, repeats=1, warmup=0)
+        )
+
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "quick": quick,
+        "workload": workload.describe(),
+        "policy": policy.describe(),
+        "targets": results,
+    }
+
+
+def write_bench_timing(path: str = "BENCH_timing.json", quick: bool = False) -> dict[str, Any]:
+    """Run the harness and write the payload to ``path``."""
+    payload = run_bench_timing(quick=quick)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    return payload

@@ -8,6 +8,7 @@ run               plan + evaluate one or all engines on a workload
 experiment        regenerate one of the paper's tables/figures
 whatif            hardware sensitivity sweep
 trace             export a Chrome trace of a decode schedule
+bench-timing      time the planner/cost-model hot path, write BENCH_timing.json
 """
 
 from __future__ import annotations
@@ -160,6 +161,28 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_bench_timing(args) -> int:
+    from repro.bench.timing import write_bench_timing
+
+    payload = write_bench_timing(path=args.output, quick=args.quick)
+    rows = []
+    for name, r in payload["targets"].items():
+        rows.append(
+            {
+                "target": name,
+                "median_ms": round(r["median_s"] * 1e3, 3),
+                "best_ms": round(r["best_s"] * 1e3, 3),
+                "baseline_ms": round(r["baseline_median_s"] * 1e3, 3),
+                "speedup": round(r["speedup_vs_baseline"], 2),
+                "repeats": r["repeats"],
+            }
+        )
+    mode = "quick" if payload["quick"] else "full"
+    print(format_table(rows, f"bench-timing ({mode}) — {payload['workload']}"))
+    print(f"written to {args.output}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="LM-Offload reproduction CLI"
@@ -197,6 +220,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--layers", type=int, default=8, help="layers to trace")
     p.add_argument("--output", default="decode_trace.json")
     p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "bench-timing", help="time plan()/breakdown()/tab3, write BENCH_timing.json"
+    )
+    p.add_argument(
+        "--quick", action="store_true",
+        help="fewer repeats, skip the tab3 sweep (CI smoke)",
+    )
+    p.add_argument("--output", default="BENCH_timing.json")
+    p.set_defaults(func=cmd_bench_timing)
 
     return parser
 

@@ -48,7 +48,9 @@ class LMOffloadEngine:
     def default_context(self) -> CpuExecutionContext:
         return CpuExecutionContext.pytorch_default(self.topology, self.contention)
 
-    def _planner(self, ctx: CpuExecutionContext) -> PolicyPlanner:
+    def _planner(
+        self, ctx: CpuExecutionContext, mem_cache: dict | None = None
+    ) -> PolicyPlanner:
         return PolicyPlanner(
             hw=self.hw,
             cpu_ctx=ctx,
@@ -56,6 +58,7 @@ class LMOffloadEngine:
             quant=self.config.quant,
             wg_step=self.config.wg_step,
             allow_gpu_attention=self.config.allow_gpu_attention,
+            mem_cache=mem_cache,
         )
 
     def _io_volumes(self, workload: Workload, policy: OffloadPolicy) -> dict[str, float]:
@@ -108,15 +111,22 @@ class LMOffloadEngine:
         threading but without per-task staging-thread limits (those are a
         refinement tied to a specific policy's volumes); the final thread
         plan is then rebuilt for the policy actually chosen.
+
+        Pass 1's results seed pass 2 twice over: the shared ``mem_cache``
+        replays every memory-feasibility verdict (memory needs are
+        context-independent), and the pass-1 policy joins pass 2's
+        candidate set so the known-good point survives any LP drift under
+        the controlled threading.
         """
         base_ctx = self.default_context()
-        policy, _ = self._planner(base_ctx).search(workload)
+        mem_cache: dict = {}
+        policy, _ = self._planner(base_ctx, mem_cache).search(workload)
         if not self.config.parallelism_control:
             return policy, base_ctx, None
         plan = self.plan_parallelism(workload, policy)
         search_ctx = CpuExecutionContext.from_plan(self.topology, self.contention, plan)
         search_ctx.io_staging_threads = {}
-        policy, _ = self._planner(search_ctx).search(workload)
+        policy, _ = self._planner(search_ctx, mem_cache).search(workload, seed=policy)
         plan = self.plan_parallelism(workload, policy)
         ctx = CpuExecutionContext.from_plan(self.topology, self.contention, plan)
         return policy, ctx, plan

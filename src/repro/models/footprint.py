@@ -84,9 +84,23 @@ class ModelFootprint:
         """Eq. 18 (single-token average): KV context mid-way through decode."""
         return (self.prompt_len + self.gen_len / 2) * self.kv_bytes_per_token_per_layer
 
-    def kv_bytes_per_layer_at(self, token_idx: int) -> float:
-        """Exact KV size before generating decode token ``token_idx`` (0-based)."""
-        if not 0 <= token_idx < self.gen_len:
+    def kv_bytes_per_layer_at(self, token_idx):
+        """Exact KV size before generating decode token ``token_idx`` (0-based).
+
+        Accepts a scalar or a NumPy array of token indices (the vectorized
+        cost path evaluates every decode token at once); the bound check
+        covers both.
+        """
+        import numpy as np
+
+        if isinstance(token_idx, np.ndarray):
+            if token_idx.size and not (
+                (token_idx >= 0).all() and (token_idx < self.gen_len).all()
+            ):
+                raise ValueError(
+                    f"token indices outside [0, {self.gen_len})"
+                )
+        elif not 0 <= token_idx < self.gen_len:
             raise ValueError(f"token_idx {token_idx} outside [0, {self.gen_len})")
         return (self.prompt_len + 1 + token_idx) * self.kv_bytes_per_token_per_layer
 

@@ -19,6 +19,7 @@ quantization cost/benefit, per the paper's critique); LM-Offload uses
 from __future__ import annotations
 
 import enum
+import logging
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
@@ -30,6 +31,136 @@ from repro.offload.policy import OffloadPolicy
 from repro.perfmodel.latency import CostModel, CpuExecutionContext
 from repro.perfmodel.notation import HardwareParams, Workload
 from repro.quant.config import QuantConfig
+from repro.units import dtype_bytes
+
+logger = logging.getLogger(__name__)
+
+
+class MemoryPrescreen:
+    """Cheap memory-feasibility model for one search template.
+
+    Mirrors :meth:`CostModel.gpu_bytes_required` / ``cpu_bytes_required``
+    operation-for-operation, but binds every candidate-invariant
+    sub-quantity (footprint, per-layer weight bytes, per-token KV bytes)
+    once per template so the ``(wg, cg, hg)`` grid can be screened without
+    constructing a :class:`CostModel` per candidate.  Memory requirements
+    do not depend on the CPU execution context, so results may be shared
+    across planner passes through ``cache`` (the engine reuses pass 1's
+    verdicts to seed pass 2).
+
+    This is a *pre*-screen: candidates that pass are still validated by
+    the cost model's own ``check_feasible`` — a (hypothetical) optimistic
+    disagreement costs one wasted evaluation, never a wrong plan.  The
+    equivalence tests assert the mirrored formulas match exactly.
+    """
+
+    def __init__(
+        self,
+        workload: Workload,
+        template: OffloadPolicy,
+        hw: HardwareParams,
+        cache: dict | None = None,
+    ) -> None:
+        self.w = workload
+        self.t = template
+        self.hw = hw
+        fp = workload.footprint()
+        self.l = workload.model.num_layers
+        self.n_weights = workload.model.weights_per_layer
+        self.fp16 = dtype_bytes("fp16")
+        self.act_bytes = fp.activation_bytes_per_layer
+        self.kv_elements = fp.kv_elements_per_token_per_layer
+        self.total_tokens = workload.prompt_len + workload.gen_len
+        if template.kv_quant is not None:
+            self.kv_store_bytes = template.kv_quant.total_bytes(self.kv_elements)
+        else:
+            self.kv_store_bytes = self.kv_elements * self.fp16
+        self.cache = cache if cache is not None else {}
+        self._key = (
+            workload.model.name,
+            workload.prompt_len,
+            workload.gen_len,
+            template.gpu_batch_size,
+            template.num_gpu_batches,
+            template.attention_on_cpu,
+            template.weight_quant,
+            template.kv_quant,
+            template.quantize_resident_weights,
+        )
+        self._weight_bytes: dict[float, tuple[float, float]] = {}
+
+    def weight_bytes_per_layer(self, wg: float) -> tuple[float, float]:
+        """(offloaded, resident) stored bytes of one layer at ``wg``."""
+        cached = self._weight_bytes.get(wg)
+        if cached is not None:
+            return cached
+        wc = 1.0 - wg
+        n_off = self.n_weights * wc
+        if n_off == 0:
+            offloaded = 0.0
+        elif self.t.weight_quant is not None:
+            offloaded = self.t.weight_quant.total_bytes(n_off)
+        else:
+            offloaded = n_off * self.fp16
+        n_res = self.n_weights * wg
+        if self.t.quantize_resident_weights and self.t.weight_quant is not None:
+            resident = self.t.weight_quant.total_bytes(n_res)
+        else:
+            resident = n_res * self.fp16
+        self._weight_bytes[wg] = (offloaded, resident)
+        return offloaded, resident
+
+    def gpu_bytes(self, wg: float, cg: float, hg: float) -> float:
+        """Peak GPU bytes — mirrors ``CostModel.gpu_bytes_required``."""
+        key = (*self._key, "gpu", wg, cg, hg)
+        cached = self.cache.get(key)
+        if cached is not None:
+            return cached
+        _, resident = self.weight_bytes_per_layer(wg)
+        weights = resident * self.l
+        working_layers = 2 if (1.0 - wg) > 0 else 1
+        working = working_layers * self.n_weights * self.fp16
+        kv = 0.0
+        if not self.t.attention_on_cpu:
+            kv_total = self.total_tokens * self.kv_store_bytes * self.l
+            kv = cg * kv_total
+            kv += (
+                self.total_tokens
+                * self.kv_elements
+                * self.fp16
+                / self.t.num_gpu_batches
+            )
+        act = self.act_bytes * (2 + 2 * hg)
+        value = weights + working + kv + act
+        self.cache[key] = value
+        return value
+
+    def cpu_bytes(self, wg: float, cg: float, hg: float, wd: float = 0.0) -> float:
+        """Peak host bytes — mirrors ``CostModel.cpu_bytes_required``."""
+        key = (*self._key, "cpu", wg, cg, hg, wd)
+        cached = self.cache.get(key)
+        if cached is not None:
+            return cached
+        offloaded, _ = self.weight_bytes_per_layer(wg)
+        weights = offloaded * self.l
+        wc = 1.0 - wg
+        if wc > 0 and wd > 0:
+            disk_share = wd / wc
+            resident = weights * (1.0 - disk_share)
+            staging = 2 * offloaded
+            weights = resident + min(staging, weights * disk_share)
+        kv_total = self.total_tokens * self.kv_store_bytes * self.l
+        kv = kv_total if self.t.attention_on_cpu else (1.0 - cg) * kv_total
+        act = self.act_bytes * 2 * (1.0 - hg)
+        value = weights + kv + act
+        self.cache[key] = value
+        return value
+
+    def gpu_feasible(self, wg: float, cg: float, hg: float) -> bool:
+        return self.gpu_bytes(wg, cg, hg) <= self.hw.gpu_mem_capacity
+
+    def cpu_feasible(self, wg: float, cg: float, hg: float, wd: float = 0.0) -> bool:
+        return self.cpu_bytes(wg, cg, hg, wd) <= self.hw.cpu_mem_capacity
 
 
 class PlannerObjective(enum.Enum):
@@ -62,6 +193,11 @@ class PolicyPlanner:
         The quantizer considered when ``quant_aware``.
     wg_step:
         Grid resolution for the weights-on-GPU fraction.
+    mem_cache:
+        Optional shared dict of memory-feasibility verdicts.  Memory
+        requirements are independent of the CPU execution context, so a
+        multi-pass caller (the engine's two-pass plan) hands the same dict
+        to every pass and pass 2 reuses pass 1's prescreen work.
     """
 
     hw: HardwareParams
@@ -71,6 +207,7 @@ class PolicyPlanner:
     wg_step: float = 0.05
     allow_gpu_attention: bool = True
     objective: PlannerObjective = PlannerObjective.THROUGHPUT
+    mem_cache: dict | None = None
 
     # -- quantization menu ---------------------------------------------------
 
@@ -157,9 +294,18 @@ class PolicyPlanner:
     # -- grid + validation ---------------------------------------------------
 
     def _candidate_fractions(
-        self, workload: Workload, template: OffloadPolicy
+        self,
+        workload: Workload,
+        template: OffloadPolicy,
+        seed: tuple[float, float, float] | None = None,
     ) -> Iterable[tuple[float, float, float]]:
-        """LP solution, its grid-snapped neighbours, and a coarse wg grid."""
+        """LP solution, its grid-snapped neighbours, and a coarse wg grid.
+
+        ``seed`` (e.g. the fractions a previous planning pass settled on)
+        is appended after the standard candidates when the grid does not
+        already contain it, so a known-good point is never lost to LP
+        failure or grid resolution.
+        """
         seen: set[tuple[float, float, float]] = set()
         try:
             wg, cg, hg = self.lp_placement(workload, template)
@@ -182,6 +328,8 @@ class PolicyPlanner:
                     if cand not in seen:
                         seen.add(cand)
                         yield cand
+        if seed is not None and seed not in seen:
+            yield seed
 
     def evaluate(
         self, workload: Workload, policy: OffloadPolicy
@@ -190,7 +338,10 @@ class PolicyPlanner:
 
         THROUGHPUT returns tokens/s; LATENCY returns the negative
         steady-state per-token decode latency (so 'bigger is better' holds
-        for both objectives).
+        for both objectives).  Feasibility is established exactly once: the
+        explicit ``check_feasible()`` memoizes its verdict on the model, and
+        ``breakdown()`` replays it instead of recomputing the memory
+        requirements.
         """
         model = CostModel(workload, policy, self.hw, self.cpu_ctx)
         model.check_feasible()
@@ -213,18 +364,26 @@ class PolicyPlanner:
         for each, returning the best (policy, reshaped workload, score).
         """
         best: tuple[float, OffloadPolicy, Workload] | None = None
+        self.last_geometry_failures: list[tuple[int, int, str]] = []
         for bsz in batch_candidates:
             for k in num_batch_candidates:
                 trial = workload.with_batches(bsz, k)
                 try:
                     policy, score = self.search(trial)
-                except PolicyError:
+                except PolicyError as exc:
+                    logger.debug(
+                        "batch geometry bsz=%d k=%d infeasible: %s", bsz, k, exc
+                    )
+                    self.last_geometry_failures.append((bsz, k, str(exc)))
                     continue
                 if best is None or score > best[0]:
                     best = (score, policy, trial)
         if best is None:
+            failures = self.last_geometry_failures
+            detail = f"; e.g. bsz={failures[0][0]} k={failures[0][1]}: {failures[0][2]}" if failures else ""
             raise PolicyError(
-                f"no feasible batch geometry for {workload.model.name}"
+                f"no feasible batch geometry for {workload.model.name} "
+                f"({len(failures)} geometries rejected{detail})"
             )
         return best[1], best[2], best[0]
 
@@ -234,8 +393,15 @@ class PolicyPlanner:
         attention_on_cpu: bool,
         weight_quant: QuantConfig | None,
         kv_quant: QuantConfig | None,
+        seed_fractions: tuple[float, float, float] | None = None,
     ) -> tuple[OffloadPolicy, float]:
-        """Best placement fractions for one fixed discrete strategy."""
+        """Best placement fractions for one fixed discrete strategy.
+
+        Candidates are screened with :class:`MemoryPrescreen` before a
+        :class:`CostModel` is built: GPU-infeasible fractions are pruned
+        outright (the disk tier cannot relieve GPU pressure), and
+        host-infeasible ones jump straight to the disk-spill retries.
+        """
         template = OffloadPolicy(
             wg=0.0,
             cg=0.0,
@@ -246,21 +412,30 @@ class PolicyPlanner:
             gpu_batch_size=workload.gpu_batch_size,
             num_gpu_batches=workload.num_gpu_batches,
         )
+        prescreen = MemoryPrescreen(workload, template, self.hw, self.mem_cache)
         best: tuple[float, OffloadPolicy] | None = None
-        for wg, cg, hg in self._candidate_fractions(workload, template):
+        for wg, cg, hg in self._candidate_fractions(
+            workload, template, seed_fractions
+        ):
+            if not prescreen.gpu_feasible(wg, cg, hg):
+                continue
             score: float | None = None
             policy = template.with_(wg=wg, cg=cg, hg=hg)
-            try:
-                score, _ = self.evaluate(workload, policy)
-            except PolicyError:
-                # Host memory may be the binding constraint: retry with
+            if prescreen.cpu_feasible(wg, cg, hg):
+                try:
+                    score, _ = self.evaluate(workload, policy)
+                except PolicyError:
+                    score = None
+            if score is None:
+                # Host memory is the binding constraint: retry with
                 # part/all of the offloaded weights spilled to disk
                 # (FlexGen's third tier).
                 for spill in (0.5, 1.0):
+                    wd = round((1.0 - wg) * spill, 4)
+                    if not prescreen.cpu_feasible(wg, cg, hg, wd):
+                        continue
                     try:
-                        policy = template.with_(
-                            wg=wg, cg=cg, hg=hg, wd=round((1.0 - wg) * spill, 4)
-                        )
+                        policy = template.with_(wg=wg, cg=cg, hg=hg, wd=wd)
                         score, _ = self.evaluate(workload, policy)
                         break
                     except PolicyError:
@@ -274,8 +449,15 @@ class PolicyPlanner:
             )
         return best[1], best[0]
 
-    def search(self, workload: Workload) -> tuple[OffloadPolicy, float]:
-        """Best feasible policy for ``workload`` and its modelled tput."""
+    def search(
+        self, workload: Workload, seed: OffloadPolicy | None = None
+    ) -> tuple[OffloadPolicy, float]:
+        """Best feasible policy for ``workload`` and its modelled tput.
+
+        ``seed`` injects a known-good policy (e.g. the engine's pass-1
+        result) as an extra candidate for its own discrete configuration;
+        it never removes candidates, so the search space only grows.
+        """
         best: tuple[float, OffloadPolicy] | None = None
         for attn_cpu in self._attention_menu():
             for wq, kq in self._quant_menu():
@@ -283,8 +465,18 @@ class PolicyPlanner:
                     # KV never crosses the interconnect: quantizing it only
                     # costs time (Observation 1); skip.
                     continue
+                seed_fractions = None
+                if (
+                    seed is not None
+                    and seed.attention_on_cpu == attn_cpu
+                    and seed.weight_quant == wq
+                    and seed.kv_quant == kq
+                ):
+                    seed_fractions = (seed.wg, seed.cg, seed.hg)
                 try:
-                    policy, tput = self.search_fixed(workload, attn_cpu, wq, kq)
+                    policy, tput = self.search_fixed(
+                        workload, attn_cpu, wq, kq, seed_fractions
+                    )
                 except PolicyError:
                     continue
                 if best is None or tput > best[0]:

@@ -76,8 +76,8 @@ def schedule_makespan(
     if slots < 1:
         raise ConfigError("slots must be >= 1")
     graph.validate()
-    g = graph.networkx()
-    indegree = {n: g.in_degree(n) for n in g.nodes}
+    base_indegree, successors = graph.adjacency()
+    indegree = dict(base_indegree)
     ready = sorted(n for n, d in indegree.items() if d == 0)
     # Min-heaps: executors by free time, running ops by completion time.
     executors = [0.0] * slots
@@ -97,7 +97,7 @@ def schedule_makespan(
         clock, done = heapq.heappop(running)
         finished += 1
         newly = []
-        for succ in g.successors(done):
+        for succ in successors[done]:
             indegree[succ] -= 1
             if indegree[succ] == 0:
                 newly.append(succ)

@@ -94,6 +94,11 @@ class ContentionModel:
         self.topology = topology
         self.cache = cache or CacheHierarchy()
         self.c = constants or CalibrationConstants()
+        # Algorithm 3 evaluates every op of every candidate setting through
+        # effective_op_speedup, but only a handful of distinct
+        # (intra, co_runners, op_bytes, compute_fraction) tuples occur —
+        # memoise them (the model's constants are frozen dataclasses).
+        self._speedup_memo: dict[tuple, float] = {}
 
     # -- intra-op ---------------------------------------------------------
 
@@ -196,6 +201,10 @@ class ContentionModel:
         Combines: granted-thread intra speedup, oversubscription thrash,
         and LLC-contention slowdown.
         """
+        key = (setting.intra_op, co_runners, op_bytes, compute_fraction)
+        memo = self._speedup_memo.get(key)
+        if memo is not None:
+            return memo
         granted = self.granted_threads(setting.intra_op, co_runners)
         cf = self.c.compute_fraction if compute_fraction is None else compute_fraction
         comp = self.compute_scale(granted)
@@ -210,4 +219,6 @@ class ContentionModel:
         if demand > self.topology.hardware_threads:
             thrash = (self.topology.hardware_threads / demand) ** self.c.oversub_exponent
         cache = self.cache_slowdown(op_bytes, granted, co_runners)
-        return base * thrash / cache
+        result = base * thrash / cache
+        self._speedup_memo[key] = result
+        return result

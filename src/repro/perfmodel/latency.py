@@ -32,6 +32,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.errors import PolicyError
 from repro.offload.policy import OffloadPolicy
 from repro.parallel.bundling import bundle_operators
@@ -40,9 +42,14 @@ from repro.parallel.speedup import ContentionModel, ParallelismSetting
 from repro.parallel.topology import CpuTopology
 from repro.perfmodel.constants import EngineCalibration
 from repro.perfmodel.notation import HardwareParams, Workload
-from repro.perfmodel.quant_model import kv_quant_overheads, weight_quant_overheads
+from repro.perfmodel.quant_model import (
+    KVQuantOverheadsVec,
+    kv_quant_overheads,
+    kv_quant_overheads_vec,
+    weight_quant_overheads,
+)
 from repro.runtime.graph import build_attention_graph, max_concurrency
-from repro.runtime.tasks import TaskCosts
+from repro.runtime.tasks import TASK_FIELD_NAMES, TaskCosts
 from repro.units import dtype_bytes
 
 
@@ -203,6 +210,14 @@ class CostModel:
         self.weights_preloaded = weights_preloaded
         self.fp = workload.footprint()
         self._eff = cpu_ctx.parallel_efficiency()
+        #: Memo for policy-fixed sub-quantities (byte sizes, per-iteration
+        #: task constants) — each is pure in the frozen inputs, and the
+        #: planner asks for them thousands of times per candidate.
+        self._memo: dict[str, float] = {}
+        #: Cached feasibility verdict: ``None`` until checked, then ``True``
+        #: or the :class:`PolicyError` to re-raise.  Lets ``evaluate()`` and
+        #: ``breakdown()`` share one memory check instead of recomputing.
+        self._feasible: bool | PolicyError | None = None
 
     # -- effective rates -----------------------------------------------------
 
@@ -215,42 +230,63 @@ class CostModel:
 
     def offloaded_weight_bytes_per_layer(self) -> float:
         """Stored bytes of the CPU-resident weight share of one layer."""
-        n = self.w.model.weights_per_layer * self.p.wc
-        if n == 0:
-            return 0.0
-        if self.p.weight_quant is not None:
-            return self.p.weight_quant.total_bytes(n)
-        return n * dtype_bytes("fp16")
+        if "offloaded_weight_bytes" not in self._memo:
+            n = self.w.model.weights_per_layer * self.p.wc
+            if n == 0:
+                value = 0.0
+            elif self.p.weight_quant is not None:
+                value = self.p.weight_quant.total_bytes(n)
+            else:
+                value = n * dtype_bytes("fp16")
+            self._memo["offloaded_weight_bytes"] = value
+        return self._memo["offloaded_weight_bytes"]
 
     def resident_weight_bytes_per_layer(self) -> float:
         """GPU-resident weight bytes (compressed when the policy stores the
         resident share quantized, as ZeRO-Inference's 4-bit mode does)."""
-        n = self.w.model.weights_per_layer * self.p.wg
-        if self.p.quantize_resident_weights and self.p.weight_quant is not None:
-            return self.p.weight_quant.total_bytes(n)
-        return n * dtype_bytes("fp16")
+        if "resident_weight_bytes" not in self._memo:
+            n = self.w.model.weights_per_layer * self.p.wg
+            if self.p.quantize_resident_weights and self.p.weight_quant is not None:
+                value = self.p.weight_quant.total_bytes(n)
+            else:
+                value = n * dtype_bytes("fp16")
+            self._memo["resident_weight_bytes"] = value
+        return self._memo["resident_weight_bytes"]
 
     def _resident_weight_dequant_iter(self) -> float:
         """Per-iteration dequant of compressed resident weights (on the
         compute stream — the weights are unpacked at point of use)."""
-        if not (self.p.quantize_resident_weights and self.p.weight_quant):
-            return 0.0
-        if self.p.wg == 0:
-            return 0.0
-        over = weight_quant_overheads(self.w, self.p.wg, self.cal.codec)
-        return over.dequantize_seconds / self.p.num_gpu_batches
+        if "resident_weight_dequant" not in self._memo:
+            if not (self.p.quantize_resident_weights and self.p.weight_quant):
+                value = 0.0
+            elif self.p.wg == 0:
+                value = 0.0
+            else:
+                over = weight_quant_overheads(self.w, self.p.wg, self.cal.codec)
+                value = over.dequantize_seconds / self.p.num_gpu_batches
+            self._memo["resident_weight_dequant"] = value
+        return self._memo["resident_weight_dequant"]
 
     def kv_store_bytes_per_token(self) -> float:
         """Stored bytes of one token's KV entries (whole block, one layer)."""
-        elements = self.fp.kv_elements_per_token_per_layer
-        if self.p.kv_quant is not None:
-            return self.p.kv_quant.total_bytes(elements)
-        return elements * dtype_bytes("fp16")
+        if "kv_store_bytes" not in self._memo:
+            elements = self.fp.kv_elements_per_token_per_layer
+            if self.p.kv_quant is not None:
+                value = self.p.kv_quant.total_bytes(elements)
+            else:
+                value = elements * dtype_bytes("fp16")
+            self._memo["kv_store_bytes"] = value
+        return self._memo["kv_store_bytes"]
 
     # -- memory feasibility --------------------------------------------------
 
     def gpu_bytes_required(self) -> float:
         """Peak GPU bytes under this policy."""
+        if "gpu_bytes" not in self._memo:
+            self._memo["gpu_bytes"] = self._gpu_bytes_required()
+        return self._memo["gpu_bytes"]
+
+    def _gpu_bytes_required(self) -> float:
         l = self.w.model.num_layers
         weights = self.resident_weight_bytes_per_layer() * l
         # Uncompressed working weights: current + prefetch when layers
@@ -278,6 +314,11 @@ class CostModel:
 
     def cpu_bytes_required(self) -> float:
         """Peak host bytes under this policy."""
+        if "cpu_bytes" not in self._memo:
+            self._memo["cpu_bytes"] = self._cpu_bytes_required()
+        return self._memo["cpu_bytes"]
+
+    def _cpu_bytes_required(self) -> float:
         l = self.w.model.num_layers
         weights = self.offloaded_weight_bytes_per_layer() * l
         if self.p.wc > 0 and self.p.wd > 0:
@@ -295,25 +336,42 @@ class CostModel:
         return weights + kv + act
 
     def check_feasible(self) -> None:
-        """Raise :class:`PolicyError` when the policy overflows a memory."""
+        """Raise :class:`PolicyError` when the policy overflows a memory.
+
+        The verdict is computed once per model instance and replayed on
+        subsequent calls, so ``evaluate()`` + ``breakdown()`` pay for a
+        single memory-requirement pass.
+        """
+        if self._feasible is True:
+            return
+        if self._feasible is not None:
+            raise self._feasible
         gpu_need = self.gpu_bytes_required()
         if gpu_need > self.hw.gpu_mem_capacity:
-            raise PolicyError(
+            self._feasible = PolicyError(
                 f"policy needs {gpu_need/1e9:.1f} GB GPU memory "
                 f"(capacity {self.hw.gpu_mem_capacity/1e9:.1f} GB): {self.p.describe()}"
             )
+            raise self._feasible
         cpu_need = self.cpu_bytes_required()
         if cpu_need > self.hw.cpu_mem_capacity:
-            raise PolicyError(
+            self._feasible = PolicyError(
                 f"policy needs {cpu_need/1e9:.1f} GB host memory "
                 f"(capacity {self.hw.cpu_mem_capacity/1e9:.1f} GB): {self.p.describe()}"
             )
+            raise self._feasible
+        self._feasible = True
 
     # -- kernel building blocks -----------------------------------------------
 
     def _load_weight_iter(self) -> float:
         """Per-iteration load_weight incl. Eq. 4 dequant, host staging, and
         the disk leg for any disk-resident share (third tier)."""
+        if "load_weight_iter" not in self._memo:
+            self._memo["load_weight_iter"] = self._load_weight_iter_impl()
+        return self._memo["load_weight_iter"]
+
+    def _load_weight_iter_impl(self) -> float:
         per_iter = self.offloaded_weight_bytes_per_layer() / self.p.num_gpu_batches
         wire = per_iter / self.pcie_bw
         stage = self.ctx.staging_seconds("load_weight", per_iter)
@@ -428,6 +486,115 @@ class CostModel:
             compute=compute,
         )
 
+    def _kv_overheads_vec(
+        self, token_indices: np.ndarray
+    ) -> KVQuantOverheadsVec | None:
+        """Per-token KV codec overheads on the device the policy runs the
+        codec on, for all ``token_indices`` at once (``None`` without
+        ``kv_quant``)."""
+        if self.p.kv_quant is None:
+            return None
+        device = "cpu" if self.p.attention_on_cpu else "gpu"
+        return kv_quant_overheads_vec(
+            self.w, token_indices, self.cal.codec, device=device
+        )
+
+    def decode_task_costs_vec(
+        self,
+        token_indices: np.ndarray,
+        kv_over: KVQuantOverheadsVec | None = None,
+    ) -> np.ndarray:
+        """Vectorized :meth:`decode_task_costs` over many decode tokens.
+
+        Every per-token cost is affine in the context length, so the whole
+        decode trajectory evaluates in one NumPy pass.  Returns an
+        ``(len(token_indices), 6)`` float64 matrix whose columns follow
+        :data:`~repro.runtime.tasks.TASK_FIELD_NAMES`; row ``i`` matches
+        ``decode_task_costs(token_indices[i]).as_tuple()`` (same formulas,
+        same operation order).  ``kv_over`` optionally reuses
+        already-computed codec overheads for the same token indices so
+        :meth:`breakdown` prices the codec exactly once.
+        """
+        w, p = self.w, self.p
+        tokens = np.asarray(token_indices, dtype=np.float64)
+        ctx_len = w.prompt_len + 1 + tokens
+        k = p.num_gpu_batches
+        n = tokens.shape[0]
+        if p.kv_quant is not None and kv_over is None:
+            kv_over = self._kv_overheads_vec(tokens)
+
+        out = np.empty((n, 6), dtype=np.float64)
+        out[:, 0] = self._load_weight_iter()
+
+        act_bytes = self.fp.activation_bytes_per_layer
+        act_flow = act_bytes * max(1.0 - p.hg, 1.0 if p.attention_on_cpu else 0.0)
+        out[:, 2] = act_flow / k / self.pcie_bw  # load_activation
+        out[:, 4] = act_flow / k / self.pcie_bw  # store_activation
+
+        b = p.gpu_batch_size
+        h1 = w.model.hidden_size
+        flops = 4.0 * b * 1 * ctx_len * h1
+        kv_bytes = 2.0 * b * ctx_len * h1 * dtype_bytes("fp16")
+
+        if p.attention_on_cpu:
+            out[:, 1] = 0.0  # load_cache
+            out[:, 3] = 0.0  # store_cache
+            rates = self.cal.attention
+            share = self.ctx.cpu_share
+            flop_rate = min(
+                rates.cpu_flops_per_thread * self._eff, rates.cpu_flops_ceiling
+            ) * share
+            bw_rate = min(
+                rates.cpu_bw_per_thread * self._eff, rates.cpu_bw_ceiling
+            ) * share
+            cpu_attn = np.maximum(flops / flop_rate, kv_bytes / bw_rate)
+            if kv_over is not None:
+                cpu_attn = cpu_attn + (
+                    kv_over.old_dequant_seconds + kv_over.new_quant_seconds
+                ) / k
+            compute = np.maximum(cpu_attn, self._gpu_dense_seconds(1))
+        else:
+            stored = self.kv_store_bytes_per_token()
+            streamed_share = 1.0 - p.cg
+            old_bytes = ctx_len * stored * streamed_share / k
+            new_bytes = stored * streamed_share / k
+            load_cache = np.maximum(
+                old_bytes / self.pcie_bw,
+                self._staging_seconds_vec("load_cache", old_bytes),
+            )
+            store_cache = max(
+                new_bytes / self.pcie_bw,
+                self.ctx.staging_seconds("store_cache", new_bytes),
+            )
+            eff = self.cal.gpu_dense_efficiency
+            gpu_attn = np.maximum(
+                flops / (self.hw.gpu_flops * eff), kv_bytes / self.hw.gpu_mem_bdw
+            )
+            compute = gpu_attn + self._gpu_dense_seconds(1)
+            if kv_over is not None:
+                load_cache = (
+                    load_cache
+                    + kv_over.old_dequant_seconds * streamed_share / k
+                )
+                store_cache = (
+                    store_cache + kv_over.new_quant_seconds * streamed_share / k
+                )
+                compute = compute + (
+                    kv_over.old_dequant_seconds + kv_over.new_quant_seconds
+                ) * p.cg / k
+            out[:, 1] = load_cache
+            out[:, 3] = store_cache
+
+        out[:, 5] = compute + self._resident_weight_dequant_iter()
+        return out
+
+    def _staging_seconds_vec(self, task: str, nbytes: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`CpuExecutionContext.staging_seconds`."""
+        threads = self.ctx.io_staging_threads.get(task, 0)
+        if threads <= 0:
+            return np.zeros_like(nbytes)
+        return nbytes / (self.ctx.staging_bw_per_thread * threads)
+
     def prefill_task_costs(self) -> TaskCosts:
         """Per-iteration costs of the prefill pass (all prompt tokens)."""
         w, p = self.w, self.p
@@ -470,6 +637,16 @@ class CostModel:
         d2h = costs.store_cache + costs.store_activation
         return max(h2d, d2h, costs.compute)
 
+    @staticmethod
+    def step_seconds_vec(costs: np.ndarray, literal_eq2: bool = False) -> np.ndarray:
+        """Vectorized :meth:`step_seconds` over an ``(n, 6)`` cost matrix
+        (columns in :data:`~repro.runtime.tasks.TASK_FIELD_NAMES` order)."""
+        if literal_eq2:
+            return costs.max(axis=1)
+        h2d = costs[:, 0] + costs[:, 1] + costs[:, 2]
+        d2h = costs[:, 3] + costs[:, 4]
+        return np.maximum(np.maximum(h2d, d2h), costs[:, 5])
+
     def t_init_seconds(self) -> float:
         """Eq. 3: disk -> host weight load + one-time weight quantization."""
         t = 0.0
@@ -480,16 +657,34 @@ class CostModel:
             t += over.quantize_seconds * self.w.model.num_layers
         return t
 
-    def decode_seconds(self, literal_eq2: bool = False) -> float:
-        """Total decode time across (n-1) tokens (Eq. 1's third term)."""
-        iters = self.w.model.num_layers * self.p.num_gpu_batches
-        return sum(
-            self.step_seconds(self.decode_task_costs(t), literal_eq2) * iters
-            for t in range(self.w.gen_len - 1)
-        )
+    def decode_seconds(
+        self, literal_eq2: bool = False, vectorized: bool = True
+    ) -> float:
+        """Total decode time across (n-1) tokens (Eq. 1's third term).
 
-    def breakdown(self, literal_eq2: bool = False) -> LatencyBreakdown:
-        """Assemble Eq. 1 end to end, with reporting detail."""
+        ``vectorized=False`` runs the scalar per-token reference loop; the
+        default evaluates every token in one NumPy pass (same formulas —
+        the equivalence tests pin the two together).
+        """
+        iters = self.w.model.num_layers * self.p.num_gpu_batches
+        if not vectorized:
+            return sum(
+                self.step_seconds(self.decode_task_costs(t), literal_eq2) * iters
+                for t in range(self.w.gen_len - 1)
+            )
+        tokens = np.arange(self.w.gen_len - 1, dtype=np.float64)
+        costs = self.decode_task_costs_vec(tokens)
+        return float(self.step_seconds_vec(costs, literal_eq2).sum() * iters)
+
+    def breakdown(
+        self, literal_eq2: bool = False, vectorized: bool = True
+    ) -> LatencyBreakdown:
+        """Assemble Eq. 1 end to end, with reporting detail.
+
+        The default path prices all decode tokens (task costs *and* KV
+        codec overheads) in one vectorized pass; ``vectorized=False`` keeps
+        the scalar per-token reference for equivalence testing.
+        """
         self.check_feasible()
         w, p = self.w, self.p
         iters = w.model.num_layers * p.num_gpu_batches
@@ -497,27 +692,59 @@ class CostModel:
         pf = self.prefill_task_costs()
         t_prefill = self.step_seconds(pf, literal_eq2) * iters
 
-        task_totals = {key: v * iters for key, v in pf.as_dict().items()}
-        t_decode = 0.0
-        for t in range(w.gen_len - 1):
-            dc = self.decode_task_costs(t)
-            t_decode += self.step_seconds(dc, literal_eq2) * iters
-            for key, v in dc.as_dict().items():
-                task_totals[key] += v * iters
+        if not vectorized:
+            task_totals = {key: v * iters for key, v in pf.as_dict().items()}
+            t_decode = 0.0
+            for t in range(w.gen_len - 1):
+                dc = self.decode_task_costs(t)
+                t_decode += self.step_seconds(dc, literal_eq2) * iters
+                for key, v in dc.as_dict().items():
+                    task_totals[key] += v * iters
+            mid = self.decode_task_costs(max(0, (w.gen_len - 1) // 2))
+            quant_overheads = self._quant_overhead_totals(vectorized=False)
+        else:
+            tokens = np.arange(w.gen_len - 1, dtype=np.float64)
+            kv_over = self._kv_overheads_vec(tokens)
+            costs = self.decode_task_costs_vec(tokens, kv_over=kv_over)
+            t_decode = float(
+                self.step_seconds_vec(costs, literal_eq2).sum() * iters
+            )
+            col_totals = costs.sum(axis=0)
+            task_totals = {
+                name: pf_v * iters + col * iters
+                for name, pf_v, col in zip(
+                    TASK_FIELD_NAMES, pf.as_tuple(), col_totals
+                )
+            }
+            mid_idx = max(0, (w.gen_len - 1) // 2)
+            if costs.shape[0] > 0:
+                mid = TaskCosts(*costs[mid_idx])
+            else:
+                mid = self.decode_task_costs(0)
+            quant_overheads = self._quant_overhead_totals(kv_over=kv_over)
 
-        mid = self.decode_task_costs(max(0, (w.gen_len - 1) // 2))
         return LatencyBreakdown(
             t_init=self.t_init_seconds(),
             t_prefill=t_prefill,
             t_decode=t_decode,
             task_totals=task_totals,
-            quant_overheads=self._quant_overhead_totals(),
+            quant_overheads=quant_overheads,
             io_traffic=self._traffic_totals(),
             bottleneck=mid.bottleneck().value,
         )
 
-    def _quant_overhead_totals(self) -> dict[str, float]:
-        """Total quant/dequant seconds over the whole run (Figure 4)."""
+    def _quant_overhead_totals(
+        self,
+        vectorized: bool = True,
+        kv_over: KVQuantOverheadsVec | None = None,
+    ) -> dict[str, float]:
+        """Total quant/dequant seconds over the whole run (Figure 4).
+
+        ``kv_over`` reuses the per-token codec overheads already computed
+        by :meth:`breakdown`'s vectorized pass (they are the same Eqs.
+        20-24 quantities the decode tasks fold in), so the token loop runs
+        zero times instead of twice.
+        """
         w, p = self.w, self.p
         l = w.model.num_layers
         out = {
@@ -536,15 +763,27 @@ class CostModel:
             out["weight_quant_init"] += over.quantize_seconds * l
             out["weight_dequant"] += over.dequantize_seconds * l * w.gen_len
         if p.kv_quant is not None:
-            device = "cpu" if p.attention_on_cpu else "gpu"
             pf = kv_quant_overheads(w, self.cal.codec, device="gpu")
             out["kv_prefill_quant"] = pf.prefill_quant_seconds * l
-            for t in range(w.gen_len - 1):
-                tok = kv_quant_overheads(
-                    w, self.cal.codec, device=device, token_idx=t
+            if not vectorized and kv_over is None:
+                device = "cpu" if p.attention_on_cpu else "gpu"
+                for t in range(w.gen_len - 1):
+                    tok = kv_quant_overheads(
+                        w, self.cal.codec, device=device, token_idx=t
+                    )
+                    out["kv_new_quant"] += tok.new_quant_seconds * l
+                    out["kv_old_dequant"] += tok.old_dequant_seconds * l
+            else:
+                if kv_over is None:
+                    kv_over = self._kv_overheads_vec(
+                        np.arange(w.gen_len - 1, dtype=np.float64)
+                    )
+                out["kv_new_quant"] = (
+                    kv_over.new_quant_seconds * l * (w.gen_len - 1)
                 )
-                out["kv_new_quant"] += tok.new_quant_seconds * l
-                out["kv_old_dequant"] += tok.old_dequant_seconds * l
+                out["kv_old_dequant"] = float(
+                    kv_over.old_dequant_seconds.sum() * l
+                )
         return out
 
     def _traffic_totals(self) -> dict[tuple[str, str, str], float]:

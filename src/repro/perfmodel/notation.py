@@ -42,16 +42,29 @@ class Workload:
         kv_dtype: str = "fp16",
         act_dtype: str = "fp16",
     ) -> ModelFootprint:
-        """Byte calculator bound to this workload."""
-        return ModelFootprint(
-            config=self.model,
-            prompt_len=self.prompt_len,
-            gen_len=self.gen_len,
-            block_size=self.block_size,
-            weight_dtype=weight_dtype,
-            kv_dtype=kv_dtype,
-            act_dtype=act_dtype,
-        )
+        """Byte calculator bound to this workload.
+
+        Cached per dtype combination — the footprint is pure in the
+        (frozen) workload fields and the planner requests it tens of
+        thousands of times per search.
+        """
+        cache = self.__dict__.get("_footprint_cache")
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_footprint_cache", cache)
+        key = (weight_dtype, kv_dtype, act_dtype)
+        fp = cache.get(key)
+        if fp is None:
+            fp = cache[key] = ModelFootprint(
+                config=self.model,
+                prompt_len=self.prompt_len,
+                gen_len=self.gen_len,
+                block_size=self.block_size,
+                weight_dtype=weight_dtype,
+                kv_dtype=kv_dtype,
+                act_dtype=act_dtype,
+            )
+        return fp
 
     def with_batches(self, gpu_batch_size: int, num_gpu_batches: int) -> "Workload":
         return Workload(

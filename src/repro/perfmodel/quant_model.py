@@ -23,6 +23,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.perfmodel.constants import CodecRates
 from repro.perfmodel.notation import Workload
 from repro.units import dtype_bytes
@@ -140,6 +142,66 @@ def kv_quant_overheads(
         old_bytes = fp.kv_bytes_per_layer_at(token_idx)
 
     return KVQuantOverheads(
+        prefill_quant_seconds=_quant_seconds(
+            pf_bytes / width, pf_bytes, scan, norm, copy
+        ),
+        new_quant_seconds=_quant_seconds(
+            new_bytes / width, new_bytes, scan, norm, copy
+        ),
+        old_dequant_seconds=_dequant_seconds(
+            old_bytes / width, old_bytes, norm, copy
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class KVQuantOverheadsVec:
+    """Eqs. 20-24 evaluated for a whole batch of decode tokens at once.
+
+    ``prefill_quant_seconds`` and ``new_quant_seconds`` do not depend on
+    the token index and stay scalars; ``old_dequant_seconds`` is an array
+    aligned with the ``token_indices`` passed to
+    :func:`kv_quant_overheads_vec` (the old cache grows by one token per
+    step, Eq. 18).
+    """
+
+    prefill_quant_seconds: float
+    new_quant_seconds: float
+    old_dequant_seconds: np.ndarray
+
+
+def kv_quant_overheads_vec(
+    workload: Workload,
+    token_indices: np.ndarray,
+    rates: CodecRates | None = None,
+    device: str = "gpu",
+    kv_dtype: str = "fp16",
+) -> KVQuantOverheadsVec:
+    """Vectorized :func:`kv_quant_overheads` over all ``token_indices``.
+
+    The old-cache size is affine in the token index, so the per-token
+    dequantization cost is evaluated for every token in one NumPy pass.
+    Element-for-element this matches the scalar reference (same formulas,
+    float64 arithmetic).
+    """
+    r = rates or CodecRates()
+    if device == "gpu":
+        scan, norm, copy = r.gpu_kv_scan_eps, r.gpu_kv_norm_flops, r.gpu_kv_copy_bw
+    elif device == "cpu":
+        scan, norm, copy = r.cpu_kv_scan_eps, r.cpu_kv_norm_flops, r.cpu_kv_copy_bw
+    else:
+        raise ValueError(f"device must be 'gpu' or 'cpu', got {device!r}")
+
+    fp = workload.footprint(kv_dtype=kv_dtype)
+    width = dtype_bytes(kv_dtype)
+    pf_bytes = fp.prefill_kv_bytes_per_layer
+    new_bytes = fp.kv_bytes_per_token_per_layer
+    tokens = np.asarray(token_indices, dtype=np.float64)
+    # fp.kv_bytes_per_layer_at is pure arithmetic in the token index, so
+    # feeding it the whole index array yields the per-token byte vector.
+    old_bytes = fp.kv_bytes_per_layer_at(tokens)
+
+    return KVQuantOverheadsVec(
         prefill_quant_seconds=_quant_seconds(
             pf_bytes / width, pf_bytes, scan, norm, copy
         ),

@@ -43,6 +43,11 @@ class OpGraph:
     def __init__(self) -> None:
         self._g = nx.DiGraph()
         self._nodes: dict[str, OpNode] = {}
+        #: Memo for structure-derived analyses (acyclicity, adjacency,
+        #: Kahn levels).  Algorithm 3 re-analyses the same graph for every
+        #: candidate thread setting; the structure only changes on
+        #: ``add_op``, which clears this.
+        self._analysis_cache: dict = {}
 
     def add_op(self, node: OpNode, deps: list[str] | None = None) -> OpNode:
         """Insert ``node``; ``deps`` are names of prerequisite ops."""
@@ -54,6 +59,7 @@ class OpGraph:
             if dep not in self._nodes:
                 raise ScheduleError(f"op {node.name!r} depends on unknown {dep!r}")
             self._g.add_edge(dep, node.name)
+        self._analysis_cache.clear()
         return node
 
     def node(self, name: str) -> OpNode:
@@ -74,9 +80,26 @@ class OpGraph:
 
     def validate(self) -> None:
         """Raise :class:`ScheduleError` if the graph has a cycle."""
+        if self._analysis_cache.get("acyclic"):
+            return
         if not nx.is_directed_acyclic_graph(self._g):
             cycle = nx.find_cycle(self._g)
             raise ScheduleError(f"dependency cycle: {cycle}")
+        self._analysis_cache["acyclic"] = True
+
+    def adjacency(self) -> tuple[dict[str, int], dict[str, list[str]]]:
+        """Plain-dict ``(indegree, successors)`` snapshot of the structure.
+
+        Schedulers that sweep many candidate settings over one graph walk
+        the edges thousands of times; plain dicts avoid repeated networkx
+        view construction.  Callers must copy ``indegree`` before mutating.
+        """
+        cached = self._analysis_cache.get("adjacency")
+        if cached is None:
+            indegree = {n: self._g.in_degree(n) for n in self._g.nodes}
+            successors = {n: list(self._g.successors(n)) for n in self._g.nodes}
+            cached = self._analysis_cache["adjacency"] = (indegree, successors)
+        return cached
 
     def total_work(self) -> float:
         return sum(op.work for op in self._nodes.values())
@@ -102,15 +125,18 @@ def kahn_levels(graph: OpGraph) -> list[list[str]]:
     independent given all earlier levels have completed.
     """
     graph.validate()
-    g = graph.networkx()
-    indegree = {n: g.in_degree(n) for n in g.nodes}
+    cached = graph._analysis_cache.get("kahn_levels")
+    if cached is not None:
+        return cached
+    base_indegree, successors = graph.adjacency()
+    indegree = dict(base_indegree)
     frontier = sorted(n for n, d in indegree.items() if d == 0)
     levels: list[list[str]] = []
     while frontier:
         levels.append(frontier)
         nxt: list[str] = []
         for name in frontier:
-            for succ in g.successors(name):
+            for succ in successors[name]:
                 indegree[succ] -= 1
                 if indegree[succ] == 0:
                     nxt.append(succ)
@@ -118,6 +144,7 @@ def kahn_levels(graph: OpGraph) -> list[list[str]]:
     total = sum(len(level) for level in levels)
     if total != graph.num_ops:
         raise ScheduleError("graph has a cycle (Kahn did not consume all ops)")
+    graph._analysis_cache["kahn_levels"] = levels
     return levels
 
 

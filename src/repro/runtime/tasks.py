@@ -5,12 +5,16 @@ Every (token, layer, batch) iteration launches six asynchronous tasks.
 overlapped iteration time is the max of the six, which :meth:`TaskCosts.step_time`
 implements.  The executor (:mod:`repro.runtime.executor`) checks that the
 event-driven schedule converges to the same steady state.
+
+``TaskCosts`` sits on the planner's hot path (tens of thousands of
+instances per policy search), so its accessors are explicit tuples/dicts
+rather than :func:`dataclasses.fields` reflection.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, fields
+from dataclasses import dataclass
 
 
 class TaskKind(enum.Enum):
@@ -34,6 +38,17 @@ TASK_RESOURCE = {
     TaskKind.COMPUTE: "compute",
 }
 
+#: Field order of :class:`TaskCosts` — also the column order of the
+#: vectorized cost matrices in :mod:`repro.perfmodel.latency`.
+TASK_FIELD_NAMES = (
+    "load_weight",
+    "load_cache",
+    "load_activation",
+    "store_cache",
+    "store_activation",
+    "compute",
+)
+
 
 @dataclass(frozen=True)
 class TaskCosts:
@@ -52,37 +67,63 @@ class TaskCosts:
     compute: float = 0.0
 
     def __post_init__(self) -> None:
-        for f in fields(self):
-            if getattr(self, f.name) < 0:
-                raise ValueError(f"task cost {f.name} must be non-negative")
+        if (
+            self.load_weight < 0
+            or self.load_cache < 0
+            or self.load_activation < 0
+            or self.store_cache < 0
+            or self.store_activation < 0
+            or self.compute < 0
+        ):
+            for name, value in zip(TASK_FIELD_NAMES, self.as_tuple()):
+                if value < 0:
+                    raise ValueError(f"task cost {name} must be non-negative")
+
+    def as_tuple(self) -> tuple[float, float, float, float, float, float]:
+        """The six durations in :data:`TASK_FIELD_NAMES` order."""
+        return (
+            self.load_weight,
+            self.load_cache,
+            self.load_activation,
+            self.store_cache,
+            self.store_activation,
+            self.compute,
+        )
 
     def as_dict(self) -> dict[str, float]:
-        return {f.name: getattr(self, f.name) for f in fields(self)}
+        return {
+            "load_weight": self.load_weight,
+            "load_cache": self.load_cache,
+            "load_activation": self.load_activation,
+            "store_cache": self.store_cache,
+            "store_activation": self.store_activation,
+            "compute": self.compute,
+        }
 
     def get(self, kind: TaskKind) -> float:
         return getattr(self, kind.value)
 
     def step_time(self) -> float:
         """Eq. 2: overlapped per-iteration latency = max of the six tasks."""
-        return max(self.as_dict().values())
+        return max(self.as_tuple())
 
     def bottleneck(self) -> TaskKind:
         """Which task dominates the overlapped iteration."""
-        name = max(self.as_dict().items(), key=lambda kv: kv[1])[0]
-        return TaskKind(name)
+        values = self.as_tuple()
+        return TaskKind(TASK_FIELD_NAMES[values.index(max(values))])
 
     def serial_time(self) -> float:
         """Sum of the six (what a non-overlapped runtime would pay)."""
-        return sum(self.as_dict().values())
+        return sum(self.as_tuple())
 
     def scaled(self, factor: float) -> "TaskCosts":
         """Uniformly scale every task (used for what-if analysis)."""
         if factor < 0:
             raise ValueError("factor must be non-negative")
-        return TaskCosts(**{k: v * factor for k, v in self.as_dict().items()})
+        return TaskCosts(*(v * factor for v in self.as_tuple()))
 
     @staticmethod
     def elementwise_max(a: "TaskCosts", b: "TaskCosts") -> "TaskCosts":
         return TaskCosts(
-            **{k: max(v, b.as_dict()[k]) for k, v in a.as_dict().items()}
+            *(max(x, y) for x, y in zip(a.as_tuple(), b.as_tuple()))
         )
