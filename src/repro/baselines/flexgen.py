@@ -39,6 +39,7 @@ class FlexGenEngine:
         self.topology = CpuTopology.from_device(self.platform.cpu)
         self.contention = ContentionModel(self.topology, self.platform.cache)
         self.ctx = CpuExecutionContext.pytorch_default(self.topology, self.contention)
+        self._plan_memo: dict[Workload, tuple] = {}
 
     def plan(self, workload: Workload) -> OffloadPolicy:
         planner = PolicyPlanner(
@@ -49,6 +50,19 @@ class FlexGenEngine:
         )
         policy, _ = planner.search(workload)
         return policy
+
+    def plan_cached(
+        self, workload: Workload
+    ) -> tuple[OffloadPolicy, CpuExecutionContext, None]:
+        """Planned-step costing hook (same shape as LMOffloadEngine's)."""
+        hit = self._plan_memo.get(workload)
+        if hit is None:
+            hit = self._plan_memo[workload] = (self.plan(workload), self.ctx, None)
+        return hit
+
+    def planned_cost_model(self, workload: Workload) -> CostModel:
+        policy, ctx, _ = self.plan_cached(workload)
+        return CostModel(workload, policy, self.hw, ctx, self.calibration)
 
     def run(
         self, workload: Workload, policy: OffloadPolicy | None = None

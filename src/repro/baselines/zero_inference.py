@@ -45,6 +45,7 @@ class ZeroInferenceEngine:
         # DeepSpeed streams through pre-pinned buffers: no staging limits.
         self.ctx.io_staging_threads = {}
         self.quant = QuantConfig(bits=4, group_size=64)
+        self._plan_memo: dict[Workload, tuple] = {}
 
     def _policy(self, batch: int) -> OffloadPolicy:
         return OffloadPolicy(
@@ -86,6 +87,28 @@ class ZeroInferenceEngine:
         raise PolicyError(
             f"ZeRO-Inference cannot fit {workload.model.name} at any batch size"
         )
+
+    def plan_cached(
+        self, workload: Workload
+    ) -> tuple[OffloadPolicy, CpuExecutionContext, None]:
+        """Planned-step costing hook.
+
+        ZeRO-Inference has no zig-zag blocking, so the workload's whole
+        block runs as a single batch: the returned policy has
+        ``num_gpu_batches=1`` and ``gpu_batch_size == block_size`` (raises
+        :class:`PolicyError` when that batch does not fit).
+        """
+        hit = self._plan_memo.get(workload)
+        if hit is None:
+            block = workload.block_size
+            policy = self.plan(workload.with_batches(block, 1), batch=block)
+            hit = self._plan_memo[workload] = (policy, self.ctx, None)
+        return hit
+
+    def planned_cost_model(self, workload: Workload) -> CostModel:
+        policy, ctx, _ = self.plan_cached(workload)
+        trial = workload.with_batches(policy.gpu_batch_size, 1)
+        return CostModel(trial, policy, self.hw, ctx, self.calibration)
 
     def run(self, workload: Workload, batch: int | None = None) -> InferenceReport:
         policy = self.plan(workload, batch=batch)

@@ -7,9 +7,14 @@ bench can report measured-vs-paper shape checks.
 """
 
 from repro.bench.tables import format_table
+from repro.bench.serving import (
+    run_serving_comparison,
+    simulate_engine,
+    write_bench_serving,
+)
 from repro.bench.timing import run_bench_timing, write_bench_timing
 from repro.bench.viz import hbar_chart, sparkline, sweep_summary
-from repro.bench.whatif import run_whatif, whatif_rows
+from repro.bench.whatif import run_whatif, sample_variants, whatif_rows
 from repro.bench import paper_data
 from repro.bench.experiments import (
     run_fig3_quant_strategies,
@@ -25,6 +30,10 @@ from repro.bench.experiments import (
 
 __all__ = [
     "format_table",
+    "run_serving_comparison",
+    "simulate_engine",
+    "write_bench_serving",
+    "sample_variants",
     "run_bench_timing",
     "write_bench_timing",
     "hbar_chart",

@@ -21,6 +21,7 @@ from repro.parallel.topology import CpuTopology
 from repro.perfmodel.latency import CpuExecutionContext
 from repro.perfmodel.notation import HardwareParams, Workload
 from repro.units import GB
+from repro.util.rng import seeded_rng
 
 #: Named hardware variants: dotted HardwareParams overrides.
 HARDWARE_VARIANTS: dict[str, dict[str, float]] = {
@@ -39,6 +40,32 @@ HARDWARE_VARIANTS: dict[str, dict[str, float]] = {
 }
 
 
+#: Rates a sampled variant perturbs (capacities are contractual, rates
+#: are what vendor datasheets overstate).
+SAMPLED_FIELDS = ("pcie_bdw", "cpu_mem_bdw", "gpu_mem_bdw", "gpu_flops")
+
+
+def sample_variants(
+    n: int, seed: int = 0, spread: float = 0.15
+) -> dict[str, dict[str, float]]:
+    """``n`` Monte-Carlo hardware variants with log-normally jittered rates.
+
+    Models procurement uncertainty: each sampled variant scales the
+    bandwidth/FLOP rates by independent log-normal factors with the given
+    ``spread`` (sigma of log).  Deterministic for a fixed ``seed`` — every
+    variant draws from its own :func:`~repro.util.rng.seeded_rng` stream,
+    so adding samples never changes earlier ones.
+    """
+    variants: dict[str, dict[str, float]] = {}
+    for i in range(n):
+        rng = seeded_rng(seed, "whatif", i)
+        factors = rng.lognormal(0.0, spread, size=len(SAMPLED_FIELDS))
+        variants[f"mc-{i:02d}"] = {
+            field: float(f) for field, f in zip(SAMPLED_FIELDS, factors)
+        }
+    return variants
+
+
 @dataclass(frozen=True)
 class WhatIfResult:
     variant: str
@@ -53,14 +80,28 @@ def run_whatif(
     workload: Workload,
     variants: dict[str, dict[str, float]] | None = None,
     platform: Platform | None = None,
+    samples: int = 0,
+    seed: int = 0,
+    spread: float = 0.15,
 ) -> list[WhatIfResult]:
-    """Plan the best LM-Offload policy under each hardware variant."""
+    """Plan the best LM-Offload policy under each hardware variant.
+
+    ``samples > 0`` appends that many seeded Monte-Carlo variants (rate
+    jitter around the base platform, see :func:`sample_variants`) after
+    the named ones — one ``--seed`` reproduces the whole sweep.
+    """
     platform = platform or single_a100()
     base_hw = HardwareParams.from_platform(platform)
     topo = CpuTopology.from_device(platform.cpu)
     ctx = CpuExecutionContext.pytorch_default(topo, ContentionModel(topo, platform.cache))
+    sweep = dict(variants if variants is not None else HARDWARE_VARIANTS)
+    for name, factors in sample_variants(samples, seed, spread).items():
+        sweep[name] = {
+            field: getattr(base_hw, field) * factor
+            for field, factor in factors.items()
+        }
     results: list[WhatIfResult] = []
-    for name, overrides in (variants or HARDWARE_VARIANTS).items():
+    for name, overrides in sweep.items():
         hw = dataclasses.replace(base_hw, **overrides)
         planner = PolicyPlanner(hw=hw, cpu_ctx=ctx, quant_aware=True)
         try:

@@ -8,6 +8,7 @@ run               plan + evaluate one or all engines on a workload
 experiment        regenerate one of the paper's tables/figures
 whatif            hardware sensitivity sweep
 trace             export a Chrome trace of a decode schedule
+serve-sim         request-level serving simulation, write BENCH_serving.json
 bench-timing      time the planner/cost-model hot path, write BENCH_timing.json
 """
 
@@ -64,11 +65,26 @@ def cmd_plan(args) -> int:
 
     engine = LMOffloadEngine(single_a100())
     workload = _workload(args)
-    policy, _, plan = engine.plan(workload)
-    print(f"workload: {workload.describe()}")
-    print(f"policy:   {policy.describe()}")
-    if plan is not None:
-        print(f"threads:  {plan.describe()}")
+    if args.search_geometry:
+        planner = engine.planner()
+        policy, workload, _ = planner.search_batch_geometry(workload)
+        failures = planner.last_geometry_failures
+        print(f"workload: {workload.describe()}  (geometry searched)")
+        print(f"policy:   {policy.describe()}")
+        if failures:
+            print(f"rejected geometries: {len(failures)}")
+            for bsz, k, reason in failures[: args.max_failures]:
+                print(f"  bsz={bsz} k={k}: {reason}")
+            if len(failures) > args.max_failures:
+                print(f"  ... and {len(failures) - args.max_failures} more")
+        else:
+            print("rejected geometries: 0")
+    else:
+        policy, _, plan = engine.plan(workload)
+        print(f"workload: {workload.describe()}")
+        print(f"policy:   {policy.describe()}")
+        if plan is not None:
+            print(f"threads:  {plan.describe()}")
     if args.save:
         with open(args.save, "w", encoding="utf-8") as fh:
             fh.write(policy_to_json(policy))
@@ -132,8 +148,96 @@ def cmd_whatif(args) -> int:
     from repro.bench.whatif import run_whatif, whatif_rows
 
     workload = _workload(args)
-    rows = whatif_rows(run_whatif(workload))
+    rows = whatif_rows(
+        run_whatif(workload, samples=args.samples, seed=args.seed)
+    )
     print(format_table(rows, f"what-if: {workload.describe()}"))
+    return 0
+
+
+def cmd_serve_sim(args) -> int:
+    import json
+
+    from repro.bench.serving import ENGINES, run_serving_comparison
+    from repro.serving import (
+        LengthSampler,
+        default_trace,
+        export_request_timeline,
+        load_trace,
+        metrics_row,
+        mmpp_trace,
+        poisson_trace,
+    )
+    from repro.serving.simulator import ServingConfig
+
+    lengths = LengthSampler(
+        prompt_mean=args.prompt_mean, gen_mean=args.gen_mean, max_len=args.max_len
+    )
+    if args.arrival == "poisson":
+        if args.rate == 2.0 and args.duration == 30.0 and args.prompt_mean == 64:
+            trace = default_trace(quick=args.quick, seed=args.seed)
+        else:
+            trace = poisson_trace(
+                args.rate, args.duration, seed=args.seed, lengths=lengths,
+                priority_levels=args.priority_levels,
+            )
+    elif args.arrival == "bursty":
+        trace = mmpp_trace(
+            args.rate, args.burst_rate, args.duration, seed=args.seed,
+            lengths=lengths, priority_levels=args.priority_levels,
+        )
+    else:  # replay
+        if not args.trace_file:
+            print("serve-sim: --arrival replay requires --trace-file", flush=True)
+            return 2
+        trace = load_trace(args.trace_file)
+
+    config = ServingConfig(
+        max_batch=args.max_batch,
+        num_gpu_batches=args.num_batches,
+        queue_capacity=args.queue_capacity,
+        queue_timeout_s=args.queue_timeout,
+        ttft_slo_s=args.ttft_slo,
+        tpot_slo_s=args.tpot_slo,
+    )
+    engines = tuple(ENGINES) if args.engine == "all" else (args.engine,)
+    payload, results = run_serving_comparison(
+        model_name=args.model,
+        trace=trace,
+        scheduler=args.scheduler,
+        config=config,
+        engines=engines,
+        seed=args.seed,
+    )
+    print(f"trace:     {trace.describe()}")
+    print(f"scheduler: {args.scheduler}   "
+          f"SLO: ttft<={args.ttft_slo:g}s tpot<={args.tpot_slo:g}s")
+    rows = [metrics_row(payload["engines"][name]) for name in engines]
+    print(format_table(rows, f"serve-sim: {args.model}"))
+    ratios = payload["comparison"].get("goodput_vs_flexgen")
+    if ratios:
+        parts = []
+        for name, ratio in ratios.items():
+            if name == "flexgen":
+                continue
+            if ratio is None:
+                rps = payload["engines"][name]["slo"]["goodput_rps"]
+                parts.append(f"{name}={rps:.3f} rps (flexgen=0, ratio undefined)")
+            else:
+                parts.append(f"{name}={ratio:.2f}x")
+        print(f"goodput vs flexgen: {'  '.join(parts)}")
+    with open(args.output, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"written to {args.output}")
+    if args.chrome_trace:
+        name = engines[0] if len(engines) == 1 else "lm-offload"
+        builder = export_request_timeline(results[name])
+        builder.save(args.chrome_trace)
+        print(
+            f"request timeline ({name}, {builder.num_slices} steps) "
+            f"written to {args.chrome_trace}"
+        )
     return 0
 
 
@@ -196,6 +300,14 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("plan", help="search the best LM-Offload policy")
     _add_workload_args(p)
     p.add_argument("--save", help="write the policy JSON here")
+    p.add_argument(
+        "--search-geometry", action="store_true",
+        help="also search (batch, num_batches) and report rejected geometries",
+    )
+    p.add_argument(
+        "--max-failures", type=int, default=5,
+        help="rejected geometries to list in detail",
+    )
     p.set_defaults(func=cmd_plan)
 
     p = sub.add_parser("run", help="evaluate engine(s) on a workload")
@@ -212,7 +324,52 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("whatif", help="hardware sensitivity sweep")
     _add_workload_args(p)
+    p.add_argument(
+        "--samples", type=int, default=0,
+        help="extra seeded Monte-Carlo hardware variants",
+    )
+    p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_whatif)
+
+    p = sub.add_parser(
+        "serve-sim",
+        help="request-level serving simulation (arrivals, batching, SLOs)",
+    )
+    p.add_argument("--model", default="opt-30b", help="registered model name")
+    p.add_argument(
+        "--arrival", default="poisson", choices=["poisson", "bursty", "replay"]
+    )
+    p.add_argument("--rate", type=float, default=2.0, help="arrivals/s (base rate)")
+    p.add_argument(
+        "--burst-rate", type=float, default=8.0, help="bursty phase rate (MMPP)"
+    )
+    p.add_argument("--duration", type=float, default=30.0, help="trace horizon (s)")
+    p.add_argument("--prompt-mean", type=float, default=64)
+    p.add_argument("--gen-mean", type=float, default=32)
+    p.add_argument("--max-len", type=int, default=256)
+    p.add_argument("--priority-levels", type=int, default=1)
+    p.add_argument("--trace-file", help="JSON trace to replay (--arrival replay)")
+    p.add_argument(
+        "--scheduler", default="fcfs",
+        choices=["fcfs", "sjf", "priority", "priority-preempt"],
+    )
+    p.add_argument("--max-batch", type=int, default=64)
+    p.add_argument("--num-batches", type=int, default=1, help="zig-zag batches")
+    p.add_argument("--queue-capacity", type=int, default=128)
+    p.add_argument("--queue-timeout", type=float, default=None)
+    p.add_argument("--ttft-slo", type=float, default=30.0)
+    p.add_argument("--tpot-slo", type=float, default=3.5)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--engine", default="all",
+        choices=["all", "lm-offload", "flexgen", "zero-inference"],
+    )
+    p.add_argument("--chrome-trace", help="also export the request timeline here")
+    p.add_argument(
+        "--quick", action="store_true", help="short trace (CI smoke)"
+    )
+    p.add_argument("--output", default="BENCH_serving.json")
+    p.set_defaults(func=cmd_serve_sim)
 
     p = sub.add_parser("trace", help="export a Chrome trace of the schedule")
     _add_workload_args(p)

@@ -42,6 +42,15 @@ class LMOffloadEngine:
         self.topology = CpuTopology.from_device(self.platform.cpu)
         self.contention = ContentionModel(self.topology, self.platform.cache)
         self.profiles = build_default_profiles(self.contention)
+        #: Engine-lifetime memo for :meth:`plan_cached` (keyed by the frozen
+        #: workload).  Serving prices thousands of steps against a handful
+        #: of distinct geometries; each must pay for one search only.
+        self._plan_memo: dict[Workload, tuple] = {}
+
+    @property
+    def calibration(self):
+        """Calibration constants (uniform accessor across all engines)."""
+        return self.config.calibration
 
     # -- contexts ---------------------------------------------------------
 
@@ -60,6 +69,12 @@ class LMOffloadEngine:
             allow_gpu_attention=self.config.allow_gpu_attention,
             mem_cache=mem_cache,
         )
+
+    def planner(self, ctx: CpuExecutionContext | None = None) -> PolicyPlanner:
+        """A policy planner on this engine's hardware (public hook for
+        geometry searches and diagnostics — e.g. surfacing
+        ``last_geometry_failures`` in the CLI)."""
+        return self._planner(ctx or self.default_context())
 
     def _io_volumes(self, workload: Workload, policy: OffloadPolicy) -> dict[str, float]:
         """Per-decode-step byte volumes of the five I/O tasks."""
@@ -130,6 +145,28 @@ class LMOffloadEngine:
         plan = self.plan_parallelism(workload, policy)
         ctx = CpuExecutionContext.from_plan(self.topology, self.contention, plan)
         return policy, ctx, plan
+
+    def plan_cached(
+        self, workload: Workload
+    ) -> tuple[OffloadPolicy, CpuExecutionContext, ParallelismPlan | None]:
+        """Memoized :meth:`plan` — the planned-step costing hook.
+
+        Repeat callers with the same (frozen, hashable) workload — the
+        serving simulator's step oracle, sweep harnesses — get the searched
+        (policy, context, thread plan) back without re-running the two-pass
+        search.  The underlying caches (planner mem-cache, contention memo)
+        already make a repeat search cheap; this makes it free.
+        """
+        hit = self._plan_memo.get(workload)
+        if hit is None:
+            hit = self._plan_memo[workload] = self.plan(workload)
+        return hit
+
+    def planned_cost_model(self, workload: Workload) -> CostModel:
+        """Plan (memoized) and bind the cost model — one call from any
+        (prompt_len, gen_len, batch geometry) point to per-step prices."""
+        policy, ctx, _ = self.plan_cached(workload)
+        return CostModel(workload, policy, self.hw, ctx, self.config.calibration)
 
     def run(
         self, workload: Workload, policy: OffloadPolicy | None = None

@@ -53,3 +53,7 @@ class QuantizationError(ReproError):
 
 class PolicyError(ReproError):
     """No feasible offloading policy exists for the given constraints."""
+
+
+class ServingError(ReproError):
+    """The serving simulator was misconfigured or reached a dead end."""

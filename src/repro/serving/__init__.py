@@ -1,0 +1,74 @@
+"""Request-level serving simulator: arrival traces, continuous batching
+over the zig-zag schedule, scheduler policies and SLO metrics.
+
+The performance model (Eqs. 1-24) prices any (prompt, context, batch)
+point in microseconds, which is exactly what a trace-driven simulator
+needs to make admission and batching decisions per step — this package
+turns the repo's offline block evaluator into an online serving study:
+requests arrive over time, queue under admission control, get batched
+continuously, and are scored against TTFT/TPOT SLOs.
+
+Entry points: ``python -m repro serve-sim`` (CLI),
+:class:`ServingSimulator` (library), and
+:func:`repro.bench.serving.run_serving_comparison` (the
+``BENCH_serving.json`` engine-vs-engine harness).
+"""
+
+from repro.serving.arrivals import (
+    LengthSampler,
+    RequestTrace,
+    default_trace,
+    load_trace,
+    mmpp_trace,
+    poisson_trace,
+    replay_trace,
+    trace_from_json,
+)
+from repro.serving.costing import StepCostOracle
+from repro.serving.metrics import compute_metrics, metrics_row, nearest_rank
+from repro.serving.policies import (
+    FCFSPolicy,
+    PriorityPolicy,
+    SchedulerPolicy,
+    SJFPolicy,
+    make_policy,
+)
+from repro.serving.queue import AdmissionQueue
+from repro.serving.request import DropReason, Request, RequestSpec, RequestState
+from repro.serving.simulator import (
+    ServingConfig,
+    ServingResult,
+    ServingSimulator,
+    StepRecord,
+)
+from repro.serving.timeline import export_request_timeline
+
+__all__ = [
+    "LengthSampler",
+    "RequestTrace",
+    "default_trace",
+    "load_trace",
+    "mmpp_trace",
+    "poisson_trace",
+    "replay_trace",
+    "trace_from_json",
+    "StepCostOracle",
+    "compute_metrics",
+    "metrics_row",
+    "nearest_rank",
+    "FCFSPolicy",
+    "PriorityPolicy",
+    "SchedulerPolicy",
+    "SJFPolicy",
+    "make_policy",
+    "AdmissionQueue",
+    "DropReason",
+    "Request",
+    "RequestSpec",
+    "RequestState",
+    "ServingConfig",
+    "ServingResult",
+    "ServingSimulator",
+    "StepRecord",
+    "export_request_timeline",
+]

@@ -1,0 +1,172 @@
+"""Step-cost oracle: price prefill/decode steps via the performance model.
+
+This is the bridge between the request-level simulator and the paper's
+analytic machinery.  The engine under test plans *once per concurrency
+level* (``engine.plan_cached`` memoizes the search, reusing PR 1's
+mem-cache so pass-2 prescreen work is shared), and the oracle then prices
+every (batch, context) step the continuous-batching loop forms:
+
+* ``decode_step_seconds(n, ctx)`` — one token for all ``n`` running
+  sequences at context ``ctx``: Eq. 2's overlapped step time times the
+  ``l x k`` zig-zag iterations;
+* ``prefill_seconds(n, ctx)`` — a batched prefill over ``n`` prompts;
+* ``feasible(n, ctx)`` — the planner's :class:`MemoryPrescreen`, shared
+  verdict cache and all, so admission control asks the same question the
+  policy search asked.
+
+Context lengths are bucketed (default 32 tokens, rounding *up*) so the
+cache stays small and estimates stay conservative; planning happens at the
+trace's maximum context so the chosen placement remains memory-feasible
+for every step the simulation can form.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import PolicyError, ServingError
+from repro.models.config import ModelConfig
+from repro.offload.planner import MemoryPrescreen
+from repro.perfmodel.latency import CostModel
+from repro.perfmodel.notation import Workload
+
+
+@dataclass
+class StepCostOracle:
+    """Prices serving steps for one (engine, model) pair.
+
+    ``engine`` is any object with the planned-step costing hook:
+    ``plan_cached(workload) -> (policy, cpu_ctx, _)`` plus ``hw`` and
+    ``calibration`` attributes — :class:`~repro.core.LMOffloadEngine`,
+    :class:`~repro.baselines.FlexGenEngine` and
+    :class:`~repro.baselines.ZeroInferenceEngine` all qualify.
+    """
+
+    engine: Any
+    model: ModelConfig
+    num_gpu_batches: int = 1
+    ctx_bucket: int = 32
+    #: Planning context: prompt/gen lengths of the representative workload
+    #: each concurrency level is planned on.  Set these to the trace's
+    #: maxima so the planned placement stays feasible as contexts grow.
+    plan_prompt_len: int = 64
+    plan_gen_len: int = 32
+
+    _plans: dict[int, tuple | None] = field(default_factory=dict, repr=False)
+    _step_cache: dict[tuple, float] = field(default_factory=dict, repr=False)
+    _mem_cache: dict = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.num_gpu_batches <= 0 or self.ctx_bucket <= 0:
+            raise ServingError("num_gpu_batches and ctx_bucket must be positive")
+
+    # -- planning per concurrency level ------------------------------------
+
+    def _bucket_ctx(self, ctx_len: int) -> int:
+        return max(self.ctx_bucket, math.ceil(ctx_len / self.ctx_bucket) * self.ctx_bucket)
+
+    def _plan_workload(self, n_seqs: int) -> Workload:
+        k = self.num_gpu_batches
+        b = max(1, math.ceil(n_seqs / k))
+        return Workload(self.model, self.plan_prompt_len, self.plan_gen_len, b, k)
+
+    def planned(self, n_seqs: int):
+        """(policy, cpu_ctx) for ``n_seqs`` concurrent sequences, or
+        ``None`` when the engine has no feasible plan at that level."""
+        if n_seqs <= 0:
+            raise ServingError("n_seqs must be positive")
+        if n_seqs not in self._plans:
+            try:
+                policy, ctx, _ = self.engine.plan_cached(self._plan_workload(n_seqs))
+                self._plans[n_seqs] = (policy, ctx)
+            except PolicyError:
+                self._plans[n_seqs] = None
+        return self._plans[n_seqs]
+
+    def _price_workload(self, policy, ctx_b: int) -> Workload:
+        # gen_len=2 gives the model exactly one decode token to price;
+        # prompt_len=ctx_b puts that token at context ctx_b + 1.
+        return Workload(
+            self.model, ctx_b, 2, policy.gpu_batch_size, policy.num_gpu_batches
+        )
+
+    # -- feasibility -------------------------------------------------------
+
+    def feasible(self, n_seqs: int, ctx_len: int) -> bool:
+        """Would a step with ``n_seqs`` sequences at ``ctx_len`` fit memory?
+
+        Uses the planner's own :class:`MemoryPrescreen` (same mirrored
+        formulas, shared verdict cache) rather than a parallel model.
+        """
+        planned = self.planned(n_seqs)
+        if planned is None:
+            return False
+        policy, _ = planned
+        ctx_b = self._bucket_ctx(ctx_len)
+        pre = MemoryPrescreen(
+            self._price_workload(policy, ctx_b), policy, self.engine.hw,
+            self._mem_cache,
+        )
+        return pre.gpu_feasible(policy.wg, policy.cg, policy.hg) and pre.cpu_feasible(
+            policy.wg, policy.cg, policy.hg, policy.wd
+        )
+
+    def max_feasible_batch(self, ctx_len: int, limit: int) -> int:
+        """Largest ``n <= limit`` that plans and fits at ``ctx_len`` (0 if none)."""
+        for n in range(limit, 0, -1):
+            if self.feasible(n, ctx_len):
+                return n
+        return 0
+
+    # -- step pricing ------------------------------------------------------
+
+    def _iters(self, policy) -> int:
+        return self.model.num_layers * policy.num_gpu_batches
+
+    def decode_step_seconds(self, n_seqs: int, ctx_len: int) -> float:
+        """Wall seconds to advance ``n_seqs`` sequences one token."""
+        ctx_b = self._bucket_ctx(ctx_len)
+        key = ("decode", n_seqs, ctx_b)
+        hit = self._step_cache.get(key)
+        if hit is not None:
+            return hit
+        planned = self.planned(n_seqs)
+        if planned is None:
+            raise ServingError(
+                f"no feasible plan for {n_seqs} concurrent sequences "
+                f"of {self.model.name}"
+            )
+        policy, cpu_ctx = planned
+        model = CostModel(
+            self._price_workload(policy, ctx_b), policy, self.engine.hw,
+            cpu_ctx, self.engine.calibration,
+        )
+        costs = model.decode_task_costs(0)
+        value = CostModel.step_seconds(costs) * self._iters(policy)
+        self._step_cache[key] = value
+        return value
+
+    def prefill_seconds(self, n_seqs: int, prompt_len: int) -> float:
+        """Wall seconds for a batched prefill of ``n_seqs`` prompts."""
+        ctx_b = self._bucket_ctx(prompt_len)
+        key = ("prefill", n_seqs, ctx_b)
+        hit = self._step_cache.get(key)
+        if hit is not None:
+            return hit
+        planned = self.planned(n_seqs)
+        if planned is None:
+            raise ServingError(
+                f"no feasible plan for {n_seqs} concurrent sequences "
+                f"of {self.model.name}"
+            )
+        policy, cpu_ctx = planned
+        model = CostModel(
+            self._price_workload(policy, ctx_b), policy, self.engine.hw,
+            cpu_ctx, self.engine.calibration,
+        )
+        costs = model.prefill_task_costs()
+        value = CostModel.step_seconds(costs) * self._iters(policy)
+        self._step_cache[key] = value
+        return value

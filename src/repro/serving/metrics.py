@@ -1,0 +1,125 @@
+"""SLO metrics for a serving run: latency percentiles, goodput, drops.
+
+Percentiles use the nearest-rank method on exactly-sorted values — no
+interpolation — so metrics are bit-stable across runs and platforms (the
+determinism tests compare serialized metrics byte for byte).
+
+Vocabulary (the standard LLM-serving metric set):
+
+* **TTFT** — time to first token: arrival -> end of the prefill step;
+* **TPOT** — time per output token after the first (queueing and
+  preemption stalls included, as the user experiences them);
+* **e2e**  — arrival -> last token;
+* **goodput** — *SLO-compliant* completions per second: requests that
+  finished with ``TTFT <= ttft_slo`` and ``TPOT <= tpot_slo``, divided by
+  the makespan.  Throughput counts tokens; goodput counts kept promises.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.serving.simulator import ServingResult
+
+PERCENTILES = (50, 95, 99)
+
+
+def nearest_rank(values: list[float], pct: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, -(-len(ordered) * pct // 100))  # ceil without floats
+    return ordered[int(rank) - 1]
+
+
+def _summary(values: list[float]) -> dict[str, float]:
+    out = {f"p{p}": nearest_rank(values, p) for p in PERCENTILES}
+    out["mean"] = sum(values) / len(values) if values else 0.0
+    return out
+
+
+def compute_metrics(result: ServingResult) -> dict[str, Any]:
+    """The full metrics document for one serving run (JSON-ready)."""
+    cfg = result.config
+    finished = result.finished
+    dropped = result.dropped
+
+    ttft = [r.ttft_s for r in finished if r.ttft_s is not None]
+    tpot = [r.tpot_s for r in finished if r.tpot_s is not None]
+    e2e = [r.e2e_s for r in finished if r.e2e_s is not None]
+
+    slo_ok = [r for r in finished if r.meets_slo(cfg.ttft_slo_s, cfg.tpot_slo_s)]
+    makespan = result.makespan_s or 1.0
+    gen_tokens = sum(r.tokens_done for r in result.requests)
+
+    drop_counts: dict[str, int] = {}
+    for r in dropped:
+        assert r.drop_reason is not None
+        drop_counts[r.drop_reason.value] = drop_counts.get(r.drop_reason.value, 0) + 1
+
+    depths = [w + g for _, w, g in result.queue_depth]
+    waits = [w for _, w, _ in result.queue_depth]
+
+    return {
+        "engine": result.engine,
+        "trace": result.trace_name,
+        "scheduler": result.policy_name,
+        "requests": {
+            "total": len(result.requests),
+            "finished": len(finished),
+            "dropped": sum(drop_counts.values()),
+            "drop_reasons": drop_counts,
+            "preemptions": sum(r.preemptions for r in result.requests),
+        },
+        "latency_s": {
+            "ttft": _summary(ttft),
+            "tpot": _summary(tpot),
+            "e2e": _summary(e2e),
+        },
+        "slo": {
+            "ttft_slo_s": cfg.ttft_slo_s,
+            "tpot_slo_s": cfg.tpot_slo_s,
+            "attainment": (len(slo_ok) / len(result.requests))
+            if result.requests
+            else 0.0,
+            "goodput_rps": len(slo_ok) / makespan,
+        },
+        "throughput": {
+            "tokens_per_s": gen_tokens / makespan,
+            "requests_per_s": len(finished) / makespan,
+        },
+        "queue_depth": {
+            "mean_waiting": sum(waits) / len(waits) if waits else 0.0,
+            "max_waiting": max(waits, default=0),
+            "max_in_system": max(depths, default=0),
+        },
+        "steps": {
+            "prefill": sum(1 for s in result.steps if s.kind == "prefill"),
+            "decode": sum(1 for s in result.steps if s.kind == "decode"),
+        },
+        "makespan_s": result.makespan_s,
+    }
+
+
+def metrics_row(metrics: dict[str, Any]) -> dict[str, Any]:
+    """Flatten one metrics document into a table row for the CLI."""
+    lat = metrics["latency_s"]
+    return {
+        "engine": metrics["engine"],
+        "sched": metrics["scheduler"],
+        "done": metrics["requests"]["finished"],
+        "drop": metrics["requests"]["dropped"],
+        "ttft_p50": round(lat["ttft"]["p50"], 3),
+        "ttft_p95": round(lat["ttft"]["p95"], 3),
+        "ttft_p99": round(lat["ttft"]["p99"], 3),
+        "tpot_p50": round(lat["tpot"]["p50"], 4),
+        "tpot_p95": round(lat["tpot"]["p95"], 4),
+        "tpot_p99": round(lat["tpot"]["p99"], 4),
+        "e2e_p50": round(lat["e2e"]["p50"], 3),
+        "e2e_p95": round(lat["e2e"]["p95"], 3),
+        "e2e_p99": round(lat["e2e"]["p99"], 3),
+        "goodput_rps": round(metrics["slo"]["goodput_rps"], 3),
+        "slo_att": round(metrics["slo"]["attainment"], 3),
+        "tok_per_s": round(metrics["throughput"]["tokens_per_s"], 1),
+    }

@@ -1,0 +1,99 @@
+"""Scheduler policies: who gets the next free GPU slot.
+
+A :class:`SchedulerPolicy` only *orders* — the simulator owns admission
+mechanics (slot counting, memory feasibility, prefill batching), so a
+policy is a pure, deterministic ranking over the waiting queue plus an
+optional preemption rule evaluated at token boundaries.
+
+Ties always break on ``(arrival_s, rid)`` so every policy is a total
+order and replays are byte-identical.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ServingError
+from repro.serving.request import Request
+
+
+class SchedulerPolicy:
+    """Base class: FCFS order, no preemption."""
+
+    name = "fcfs"
+    preemptive = False
+
+    def order(self, waiting: list[Request], now: float) -> list[Request]:
+        """Admission order, head first.  Must be a deterministic total
+        order; the default is first-come-first-served."""
+        return sorted(waiting, key=lambda r: (r.arrival_s, r.rid))
+
+    def victim(self, running: list[Request], candidate: Request) -> Request | None:
+        """Which running request (if any) to preempt for ``candidate``.
+        ``None`` means don't preempt.  Only consulted when ``preemptive``."""
+        return None
+
+
+class FCFSPolicy(SchedulerPolicy):
+    """First-come-first-served (the arrival order)."""
+
+
+class SJFPolicy(SchedulerPolicy):
+    """Shortest-job-first on *remaining* generation length.
+
+    The simulator knows each request's true ``gen_len``; a real serving
+    stack would substitute a length predictor here.  Ranking by remaining
+    tokens (not total) keeps preempted long jobs from starving further.
+    """
+
+    name = "sjf"
+
+    def order(self, waiting: list[Request], now: float) -> list[Request]:
+        return sorted(
+            waiting, key=lambda r: (r.remaining_tokens, r.arrival_s, r.rid)
+        )
+
+
+class PriorityPolicy(SchedulerPolicy):
+    """Highest priority first, optionally preempting at token boundaries.
+
+    With ``preempt=True``, a waiting request may evict the lowest-priority
+    running request whose priority is *strictly* lower — evaluated only
+    between decode steps (a token boundary), never mid-step.
+    """
+
+    name = "priority"
+
+    def __init__(self, preempt: bool = False) -> None:
+        self.preemptive = preempt
+        if preempt:
+            self.name = "priority-preempt"
+
+    def order(self, waiting: list[Request], now: float) -> list[Request]:
+        return sorted(
+            waiting, key=lambda r: (-r.priority, r.arrival_s, r.rid)
+        )
+
+    def victim(self, running: list[Request], candidate: Request) -> Request | None:
+        if not running:
+            return None
+        lowest = min(running, key=lambda r: (r.priority, -r.arrival_s, -r.rid))
+        if lowest.priority < candidate.priority:
+            return lowest
+        return None
+
+
+def make_policy(name: str) -> SchedulerPolicy:
+    """Policy factory for CLI/bench use."""
+    policies: dict[str, type[SchedulerPolicy] | None] = {
+        "fcfs": FCFSPolicy,
+        "sjf": SJFPolicy,
+    }
+    if name in policies:
+        return policies[name]()  # type: ignore[misc]
+    if name == "priority":
+        return PriorityPolicy(preempt=False)
+    if name == "priority-preempt":
+        return PriorityPolicy(preempt=True)
+    raise ServingError(
+        f"unknown scheduler policy {name!r}; expected one of "
+        "fcfs, sjf, priority, priority-preempt"
+    )

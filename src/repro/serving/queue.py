@@ -1,0 +1,85 @@
+"""Bounded admission queue with timeout/drop accounting.
+
+The queue is where admission control happens: arrivals beyond
+``capacity`` are rejected outright (``QUEUE_FULL``), and requests that
+wait longer than ``timeout_s`` are expired at step boundaries
+(``TIMEOUT``).  Both kinds of drop are stamped on the request and tallied
+so the metrics layer can report exact drop accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ServingError
+from repro.serving.request import DropReason, Request, RequestState
+
+
+@dataclass
+class AdmissionQueue:
+    """FIFO holding area between arrival and GPU admission."""
+
+    capacity: int = 64
+    timeout_s: float | None = None
+    waiting: list[Request] = field(default_factory=list)
+    dropped: list[Request] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ServingError("queue capacity must be positive")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ServingError("queue timeout must be positive when set")
+
+    def __len__(self) -> int:
+        return len(self.waiting)
+
+    def _drop(self, req: Request, now: float, reason: DropReason) -> None:
+        req.state = RequestState.DROPPED
+        req.drop_s = now
+        req.drop_reason = reason
+        self.dropped.append(req)
+
+    def offer(self, req: Request, now: float) -> bool:
+        """Enqueue ``req``; ``False`` (and a QUEUE_FULL drop) when full."""
+        if len(self.waiting) >= self.capacity:
+            self._drop(req, now, DropReason.QUEUE_FULL)
+            return False
+        req.state = RequestState.QUEUED
+        req.queued_since_s = now
+        self.waiting.append(req)
+        return True
+
+    def requeue(self, req: Request, now: float) -> None:
+        """Return a preempted request to the queue (never dropped: it has
+        already been admitted once and holds generated tokens)."""
+        req.state = RequestState.QUEUED
+        req.queued_since_s = now
+        self.waiting.append(req)
+
+    def expire(self, now: float) -> list[Request]:
+        """Drop requests whose *initial* wait exceeded the timeout."""
+        if self.timeout_s is None:
+            return []
+        expired = [
+            r
+            for r in self.waiting
+            # Preempted requests (tokens_done > 0) are exempt: the timeout
+            # models a user abandoning a request that never started.
+            if r.tokens_done == 0 and now - r.arrival_s > self.timeout_s
+        ]
+        for req in expired:
+            self.waiting.remove(req)
+            self._drop(req, now, DropReason.TIMEOUT)
+        return expired
+
+    def take(self, req: Request) -> Request:
+        """Remove a specific request (the scheduler picked it)."""
+        self.waiting.remove(req)
+        return req
+
+    def drop_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for req in self.dropped:
+            assert req.drop_reason is not None
+            counts[req.drop_reason.value] = counts.get(req.drop_reason.value, 0) + 1
+        return counts

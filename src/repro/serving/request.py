@@ -1,0 +1,127 @@
+"""Request lifecycle: the unit of work the serving simulator schedules.
+
+A :class:`RequestSpec` is the immutable description an arrival trace
+carries (when it arrives, how long its prompt and generation are); a
+:class:`Request` is the mutable lifecycle record the simulator advances
+through ``QUEUED -> RUNNING -> FINISHED`` (or ``DROPPED``), stamping the
+timestamps every serving metric (TTFT, TPOT, e2e latency, goodput) is
+computed from.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class RequestState(enum.Enum):
+    QUEUED = "queued"
+    RUNNING = "running"
+    FINISHED = "finished"
+    DROPPED = "dropped"
+
+
+class DropReason(enum.Enum):
+    QUEUE_FULL = "queue_full"
+    TIMEOUT = "timeout"
+    INFEASIBLE = "infeasible"
+
+
+@dataclass(frozen=True)
+class RequestSpec:
+    """One trace entry: arrival time + sequence shape (+ priority)."""
+
+    arrival_s: float
+    prompt_len: int
+    gen_len: int
+    priority: int = 0
+
+    def __post_init__(self) -> None:
+        from repro.errors import ServingError
+
+        if self.arrival_s < 0:
+            raise ServingError("request arrival time must be non-negative")
+        if self.prompt_len <= 0 or self.gen_len <= 0:
+            raise ServingError("prompt_len and gen_len must be positive")
+
+
+@dataclass
+class Request:
+    """A live request with its lifecycle timestamps.
+
+    Timestamps are virtual-clock seconds; ``None`` until the corresponding
+    event happens.  ``tokens_done`` counts generated tokens (the first one
+    is produced by the prefill step).
+    """
+
+    rid: int
+    arrival_s: float
+    prompt_len: int
+    gen_len: int
+    priority: int = 0
+
+    state: RequestState = RequestState.QUEUED
+    admit_s: float | None = None
+    first_token_s: float | None = None
+    finish_s: float | None = None
+    drop_s: float | None = None
+    drop_reason: DropReason | None = None
+    tokens_done: int = 0
+    preemptions: int = 0
+    #: Queue re-entries after preemption do not reset ``arrival_s``; the
+    #: scheduler keys on this field so FCFS stays stable under preemption.
+    queued_since_s: float = field(default=0.0)
+
+    @classmethod
+    def from_spec(cls, rid: int, spec: RequestSpec) -> "Request":
+        return cls(
+            rid=rid,
+            arrival_s=spec.arrival_s,
+            prompt_len=spec.prompt_len,
+            gen_len=spec.gen_len,
+            priority=spec.priority,
+            queued_since_s=spec.arrival_s,
+        )
+
+    # -- derived quantities ------------------------------------------------
+
+    @property
+    def context_len(self) -> int:
+        """Tokens the KV cache currently holds for this request."""
+        return self.prompt_len + self.tokens_done
+
+    @property
+    def remaining_tokens(self) -> int:
+        return self.gen_len - self.tokens_done
+
+    @property
+    def ttft_s(self) -> float | None:
+        """Time to first token (arrival -> end of the prefill step)."""
+        if self.first_token_s is None:
+            return None
+        return self.first_token_s - self.arrival_s
+
+    @property
+    def tpot_s(self) -> float | None:
+        """Mean time per output token after the first (queueing included:
+        a preempted request's stall shows up here, as it does for users)."""
+        if self.finish_s is None or self.first_token_s is None:
+            return None
+        if self.gen_len <= 1:
+            return 0.0
+        return (self.finish_s - self.first_token_s) / (self.gen_len - 1)
+
+    @property
+    def e2e_s(self) -> float | None:
+        if self.finish_s is None:
+            return None
+        return self.finish_s - self.arrival_s
+
+    def meets_slo(self, ttft_slo_s: float, tpot_slo_s: float) -> bool:
+        """Did this (finished) request stay within both latency SLOs?"""
+        return (
+            self.state is RequestState.FINISHED
+            and self.ttft_s is not None
+            and self.ttft_s <= ttft_slo_s
+            and (self.tpot_s or 0.0) <= tpot_slo_s
+        )

@@ -1,0 +1,57 @@
+"""Chrome-trace export of a serving run's request timeline.
+
+Reuses :class:`~repro.trace.chrome.ChromeTraceBuilder` (same Trace Event
+Format the decode-schedule exporter emits) with three rows:
+
+* ``gpu``      — one complete slice per prefill/decode step (batch size,
+  max context and participating request ids in ``args``);
+* ``requests`` — instant markers for every lifecycle event (arrival,
+  admit, first_token, finish, drop, preempt);
+* a ``queue`` counter series sampling waiting/running depth after each
+  step, rendered by Perfetto as a stacked area chart.
+
+Open the file in chrome://tracing or https://ui.perfetto.dev.
+"""
+
+from __future__ import annotations
+
+from repro.serving.simulator import ServingResult
+from repro.trace.chrome import ChromeTraceBuilder
+
+
+def export_request_timeline(
+    result: ServingResult, builder: ChromeTraceBuilder | None = None
+) -> ChromeTraceBuilder:
+    """Render one serving run into a trace builder (new one by default)."""
+    builder = builder or ChromeTraceBuilder(
+        process_name=f"serve-sim:{result.engine}"
+    )
+    for step in result.steps:
+        builder.add_slice(
+            f"{step.kind} b={step.batch}",
+            "gpu",
+            step.start_s,
+            step.duration_s,
+            batch=step.batch,
+            max_ctx=step.max_ctx,
+            rids=list(step.rids),
+        )
+    for req in sorted(result.requests, key=lambda r: r.rid):
+        builder.add_instant(f"arrive r{req.rid}", "requests", req.arrival_s,
+                            prompt=req.prompt_len, gen=req.gen_len)
+        if req.admit_s is not None:
+            builder.add_instant(f"admit r{req.rid}", "requests", req.admit_s)
+        if req.first_token_s is not None:
+            builder.add_instant(
+                f"first_token r{req.rid}", "requests", req.first_token_s
+            )
+        if req.finish_s is not None:
+            builder.add_instant(f"finish r{req.rid}", "requests", req.finish_s,
+                                tokens=req.tokens_done)
+        if req.drop_s is not None:
+            assert req.drop_reason is not None
+            builder.add_instant(f"drop r{req.rid}", "requests", req.drop_s,
+                                reason=req.drop_reason.value)
+    for t, waiting, running in result.queue_depth:
+        builder.add_counter("queue", t, waiting=waiting, running=running)
+    return builder

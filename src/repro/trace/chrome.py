@@ -67,6 +67,33 @@ class ChromeTraceBuilder:
             }
         )
 
+    def add_instant(self, name: str, resource: str, ts_s: float, **args) -> None:
+        """Record an instant event ("i") — lifecycle markers like request
+        arrival/finish that have a time but no duration."""
+        self._events.append(
+            {
+                "name": name,
+                "ph": "i",
+                "s": "t",  # thread-scoped marker
+                "ts": ts_s * 1e6,
+                "pid": 0,
+                "tid": self._tid(resource),
+                "args": args,
+            }
+        )
+
+    def add_counter(self, name: str, ts_s: float, **series: float) -> None:
+        """Record a counter sample ("C") — e.g. queue depth over time."""
+        self._events.append(
+            {
+                "name": name,
+                "ph": "C",
+                "ts": ts_s * 1e6,
+                "pid": 0,
+                "args": dict(series),
+            }
+        )
+
     @property
     def num_slices(self) -> int:
         return sum(1 for e in self._events if e.get("ph") == "X")

@@ -1,0 +1,5 @@
+"""Small shared utilities that belong to no single subsystem."""
+
+from repro.util.rng import seeded_rng, spawn_seed
+
+__all__ = ["seeded_rng", "spawn_seed"]

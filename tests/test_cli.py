@@ -82,3 +82,58 @@ def test_parser_requires_command():
 def test_parser_rejects_unknown_experiment():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["experiment", "fig99"])
+
+
+def test_plan_search_geometry_reports_failures(capsys):
+    out = run_cli(capsys, "plan", "--gen-len", "8", "--search-geometry")
+    assert "geometry searched" in out
+    assert "rejected geometries:" in out
+
+
+def test_serve_sim_quick_single_engine(capsys, tmp_path):
+    bench = tmp_path / "bench.json"
+    trace = tmp_path / "timeline.json"
+    out = run_cli(
+        capsys, "serve-sim", "--model", "opt-1.3b", "--engine", "zero-inference",
+        "--quick", "--seed", "0",
+        "--output", str(bench), "--chrome-trace", str(trace),
+    )
+    assert "serve-sim: opt-1.3b" in out
+    assert "ttft_p50" in out and "goodput_rps" in out
+    doc = json.loads(bench.read_text())
+    assert doc["schema_version"] == 1
+    assert "zero-inference" in doc["engines"]
+    m = doc["engines"]["zero-inference"]
+    assert {"p50", "p95", "p99", "mean"} <= set(m["latency_s"]["ttft"])
+    tl = json.loads(trace.read_text())
+    assert any(e.get("ph") == "X" for e in tl["traceEvents"])
+
+
+def test_serve_sim_replay_requires_trace_file():
+    assert main(["serve-sim", "--arrival", "replay"]) == 2
+
+
+def test_serve_sim_replay_round_trip(capsys, tmp_path):
+    from repro.serving import replay_trace
+
+    path = tmp_path / "trace.json"
+    replay_trace([(0.0, 16, 4), (0.2, 16, 8)], name="mini").save(str(path))
+    out = run_cli(
+        capsys, "serve-sim", "--model", "opt-1.3b", "--engine", "zero-inference",
+        "--arrival", "replay", "--trace-file", str(path),
+        "--output", str(tmp_path / "b.json"),
+    )
+    assert "mini: 2 requests" in out
+
+
+def test_serve_sim_seed_changes_default_trace(capsys, tmp_path):
+    outs = []
+    for seed in ("0", "0", "1"):
+        run_cli(
+            capsys, "serve-sim", "--model", "opt-1.3b", "--engine",
+            "zero-inference", "--quick", "--seed", seed,
+            "--output", str(tmp_path / f"b{len(outs)}.json"),
+        )
+        outs.append((tmp_path / f"b{len(outs)}.json").read_text())
+    assert outs[0] == outs[1]  # same seed: byte-identical document
+    assert outs[0] != outs[2]

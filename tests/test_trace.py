@@ -68,3 +68,79 @@ def test_trace_save(tmp_path):
 def test_trace_invalid_geometry():
     with pytest.raises(ScheduleError):
         trace_decode_schedule([TaskCosts()], num_layers=0, num_gpu_batches=1)
+
+
+# -- serving timeline export (instant/counter events, tid stability) --------
+
+
+def _serving_result():
+    from repro.baselines import ZeroInferenceEngine
+    from repro.hardware import single_a100
+    from repro.models import get_model
+    from repro.serving import ServingSimulator, replay_trace
+
+    trace = replay_trace(
+        [(0.0, 16, 4), (0.5, 16, 8), (1.0, 16, 4)], name="timeline"
+    )
+    sim = ServingSimulator(
+        engine=ZeroInferenceEngine(single_a100()),
+        model=get_model("opt-1.3b"),
+        trace=trace,
+    )
+    return sim.run()
+
+
+def test_instant_and_counter_events_follow_trace_event_format():
+    b = ChromeTraceBuilder()
+    b.add_instant("arrive r0", "requests", 0.5, prompt=16)
+    b.add_counter("queue", 0.5, waiting=2, running=1)
+    events = json.loads(b.to_json())["traceEvents"]
+    inst = next(e for e in events if e["ph"] == "i")
+    assert inst["ts"] == pytest.approx(0.5e6)  # seconds in, microseconds out
+    assert inst["s"] == "t" and "tid" in inst and "pid" in inst
+    ctr = next(e for e in events if e["ph"] == "C")
+    assert ctr["args"] == {"waiting": 2, "running": 1}
+
+
+def test_resource_tid_mapping_is_stable():
+    b = ChromeTraceBuilder()
+    b.add_slice("a", "gpu", 0.0, 0.001)
+    b.add_instant("m", "requests", 0.0)
+    b.add_slice("b", "gpu", 0.002, 0.001)
+    b.add_instant("n", "requests", 0.003)
+    events = json.loads(b.to_json())["traceEvents"]
+    tids = {}
+    for e in events:
+        if e["ph"] == "M":
+            tids[e["args"]["name"]] = e["tid"]
+    xs = [e for e in events if e["ph"] == "X"]
+    assert {e["tid"] for e in xs} == {tids["gpu"]}
+    instants = [e for e in events if e["ph"] == "i"]
+    assert {e["tid"] for e in instants} == {tids["requests"]}
+
+
+def test_request_timeline_export_is_valid_and_monotonic():
+    from repro.serving import export_request_timeline
+
+    result = _serving_result()
+    builder = export_request_timeline(result)
+    doc = json.loads(builder.to_json())
+    events = doc["traceEvents"]
+    # Every event carries the required Trace Event Format keys.
+    for e in events:
+        assert {"name", "ph", "pid"} <= set(e)
+        assert e["ph"] in {"X", "M", "i", "C"}
+        if e["ph"] != "M":
+            assert e["ts"] >= 0
+    # GPU slices are emitted in step order: monotonic start times per tid.
+    xs = [e for e in events if e["ph"] == "X"]
+    starts = [e["ts"] for e in xs]
+    assert starts == sorted(starts)
+    # One slice per step; one counter sample per depth sample.
+    assert len(xs) == len(result.steps)
+    assert sum(1 for e in events if e["ph"] == "C") == len(result.queue_depth)
+    # Lifecycle instants cover every finished request's full arc.
+    names = {e["name"] for e in events if e["ph"] == "i"}
+    for req in result.requests:
+        assert f"arrive r{req.rid}" in names
+        assert f"finish r{req.rid}" in names

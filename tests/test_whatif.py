@@ -57,3 +57,27 @@ def test_custom_variant():
     # An 8 GB GPU cannot hold even two working layers of OPT-30B weights...
     # but offloading may still find a path; either way it must not crash.
     assert out[0].variant == "tiny-gpu"
+
+
+def test_sample_variants_deterministic_and_prefix_stable():
+    from repro.bench.whatif import SAMPLED_FIELDS, sample_variants
+
+    a = sample_variants(3, seed=0)
+    b = sample_variants(3, seed=0)
+    assert a == b
+    # Adding samples never changes earlier ones (per-variant RNG streams).
+    five = sample_variants(5, seed=0)
+    assert {k: five[k] for k in a} == a
+    assert sample_variants(3, seed=1) != a
+    for factors in a.values():
+        assert set(factors) == set(SAMPLED_FIELDS)
+        assert all(0.3 < f < 3.0 for f in factors.values())
+
+
+def test_run_whatif_with_monte_carlo_samples():
+    workload = Workload(get_model("opt-30b"), 64, 8, 64, 10)
+    out = run_whatif(workload, variants={}, samples=2, seed=0)
+    names = {r.variant for r in out}
+    assert names == {"mc-00", "mc-01"}
+    # Jittered-rate variants stay near the baseline: still feasible.
+    assert all(r.feasible for r in out)
