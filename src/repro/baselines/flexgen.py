@@ -35,18 +35,40 @@ class FlexGenEngine:
     name: str = "flexgen"
 
     def __post_init__(self) -> None:
+        self._degradation = None
+        self._rebuild()
+
+    def _rebuild(self) -> None:
         self.hw = HardwareParams.from_platform(self.platform)
         self.topology = CpuTopology.from_device(self.platform.cpu)
         self.contention = ContentionModel(self.topology, self.platform.cache)
         self.ctx = CpuExecutionContext.pytorch_default(self.topology, self.contention)
         self._plan_memo: dict[Workload, tuple] = {}
 
+    def retarget(self, platform: Platform) -> None:
+        """Re-derive everything from a (degraded) platform; drops the
+        plan memo so the next request replans against the new specs."""
+        self.platform = platform
+        self._rebuild()
+
+    def set_degradation(self, rung) -> None:
+        """Degradation hook (uniform engine interface).
+
+        FlexGen has no quantization model, so ``force_quant`` is inert —
+        the honest reproduction of its §2.2 gap; ``force_cpu_attention``
+        does apply (its search has the attention placement choice).
+        """
+        self._degradation = rung
+        self._plan_memo = {}
+
     def plan(self, workload: Workload) -> OffloadPolicy:
+        rung = self._degradation
+        allow_gpu_attention = not (rung is not None and rung.force_cpu_attention)
         planner = PolicyPlanner(
             hw=self.hw,
             cpu_ctx=self.ctx,
             quant_aware=False,
-            allow_gpu_attention=True,
+            allow_gpu_attention=allow_gpu_attention,
         )
         policy, _ = planner.search(workload)
         return policy

@@ -38,6 +38,10 @@ class ZeroInferenceEngine:
     name: str = "zero-inference"
 
     def __post_init__(self) -> None:
+        self._degradation = None
+        self._rebuild()
+
+    def _rebuild(self) -> None:
         self.hw = HardwareParams.from_platform(self.platform)
         self.topology = CpuTopology.from_device(self.platform.cpu)
         self.contention = ContentionModel(self.topology, self.platform.cache)
@@ -46,6 +50,22 @@ class ZeroInferenceEngine:
         self.ctx.io_staging_threads = {}
         self.quant = QuantConfig(bits=4, group_size=64)
         self._plan_memo: dict[Workload, tuple] = {}
+
+    def retarget(self, platform: Platform) -> None:
+        """Re-derive everything from a (degraded) platform; drops the
+        plan memo so the next request replans against the new specs."""
+        self.platform = platform
+        self._rebuild()
+
+    def set_degradation(self, rung) -> None:
+        """Degradation hook (uniform engine interface).
+
+        ZeRO-Inference already runs W4 resident weights and streams the
+        whole KV cache, so the quant/attention rungs are inert; only the
+        batch-shrink/backpressure mechanics (owned by the serving loop)
+        apply.  The memo is still dropped so replans see the rung."""
+        self._degradation = rung
+        self._plan_memo = {}
 
     def _policy(self, batch: int) -> OffloadPolicy:
         return OffloadPolicy(

@@ -7,6 +7,7 @@ bench can report measured-vs-paper shape checks.
 """
 
 from repro.bench.tables import format_table
+from repro.bench.chaos import chaos_rows, run_chaos, write_bench_chaos
 from repro.bench.serving import (
     run_serving_comparison,
     simulate_engine,
@@ -30,6 +31,9 @@ from repro.bench.experiments import (
 
 __all__ = [
     "format_table",
+    "chaos_rows",
+    "run_chaos",
+    "write_bench_chaos",
     "run_serving_comparison",
     "simulate_engine",
     "write_bench_serving",

@@ -1,0 +1,215 @@
+"""Chaos benchmark: every engine through every fault scenario.
+
+``python -m repro chaos`` replays one frozen arrival trace through each
+engine under each bundled fault scenario (plus a fault-free baseline for
+reference) and writes ``BENCH_chaos.json``.  The headline questions are
+robustness ones:
+
+* does any (engine, scenario) pair crash?  (It must not — every rejection
+  has to be a typed drop; ``accounting_ok`` asserts
+  ``finished + dropped + still-queued-at-end == arrived`` per run.)
+* how much goodput/SLO attainment survives each fault class, relative to
+  the same engine's fault-free run on the same trace?
+* how often did each engine replan, walk the degradation ladder, or shed
+  requests, and what availability / degraded-time fraction resulted?
+
+Every run is seeded end to end — trace, fault windows, abort draws and
+backoff jitter all derive from one ``--seed`` — so two invocations with
+the same arguments produce byte-identical JSON (asserted in
+``tests/test_chaos_serving.py`` and by the acceptance criteria).
+
+Engines are constructed *fresh per run*: chaos runs retarget the engine
+at degraded platforms mid-flight, and although the simulator restores the
+base platform on exit, sharing one engine across scenarios would let a
+bug in that restore leak state between runs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.faults import SCENARIOS, make_scenario
+from repro.models import get_model
+from repro.serving.arrivals import RequestTrace, default_trace
+from repro.serving.metrics import compute_metrics
+from repro.serving.policies import make_policy
+from repro.serving.request import RequestState
+from repro.serving.simulator import ServingConfig, ServingResult, ServingSimulator
+from repro.bench.serving import ENGINES, _make_engine
+
+SCHEMA_VERSION = 1
+
+#: Scenario order is fixed (not dict order) so the JSON layout is stable.
+SCENARIO_ORDER = (
+    "pcie-degrade",
+    "flaky-pcie",
+    "cpu-throttle",
+    "mem-crunch",
+    "gpu-brownout",
+    "multi-fault",
+)
+assert set(SCENARIO_ORDER) == set(SCENARIOS)
+
+
+def _accounting(result: ServingResult) -> dict[str, Any]:
+    """Conservation check: every arrived request ends in exactly one of
+    finished/dropped (the loop never exits with work in flight)."""
+    finished = len(result.finished)
+    dropped = len(result.dropped)
+    unresolved = [
+        r.rid
+        for r in result.requests
+        if r.state not in (RequestState.FINISHED, RequestState.DROPPED)
+    ]
+    untyped = [
+        r.rid for r in result.dropped if r.drop_reason is None
+    ]
+    return {
+        "arrived": len(result.requests),
+        "finished": finished,
+        "dropped": dropped,
+        "unresolved_rids": unresolved,
+        "untyped_drop_rids": untyped,
+        "accounting_ok": not unresolved and not untyped
+        and finished + dropped == len(result.requests),
+    }
+
+
+def run_chaos(
+    model_name: str = "opt-30b",
+    trace: RequestTrace | None = None,
+    scheduler: str = "fcfs",
+    config: ServingConfig | None = None,
+    engines: tuple[str, ...] = ENGINES,
+    scenarios: tuple[str, ...] = SCENARIO_ORDER,
+    quick: bool = False,
+    seed: int = 0,
+) -> tuple[dict[str, Any], dict[tuple[str, str], ServingResult]]:
+    """Every engine x every scenario (+ a fault-free baseline per engine).
+
+    Returns ``(payload, results)``; ``results`` is keyed by
+    ``(engine, scenario)`` with ``"baseline"`` for the fault-free run.
+    """
+    trace = trace or default_trace(quick=quick, seed=seed)
+    config = config or ServingConfig()
+    results: dict[tuple[str, str], ServingResult] = {}
+    doc_engines: dict[str, Any] = {}
+
+    for engine_name in engines:
+        runs: dict[str, Any] = {}
+        baseline = ServingSimulator(
+            engine=_make_engine(engine_name),
+            model=get_model(model_name),
+            trace=trace,
+            policy=make_policy(scheduler),
+            config=config,
+        ).run()
+        results[(engine_name, "baseline")] = baseline
+        base_metrics = compute_metrics(baseline)
+        runs["baseline"] = {
+            "metrics": base_metrics,
+            "accounting": _accounting(baseline),
+        }
+        base_goodput = base_metrics["slo"]["goodput_rps"]
+        # Fault windows are fractions of this engine's own fault-free
+        # makespan, not of the arrival horizon: offloaded engines serve a
+        # 6 s trace over minutes, and a window scaled to the horizon would
+        # fall inside a single step and never be observed by the watchdog.
+        # Every engine gets the same *fractional* exposure, and the
+        # baseline makespan is deterministic, so so is the schedule.
+        fault_horizon = baseline.makespan_s
+        for scenario_name in scenarios:
+            schedule = make_scenario(scenario_name, fault_horizon, seed)
+            result = ServingSimulator(
+                engine=_make_engine(engine_name),
+                model=get_model(model_name),
+                trace=trace,
+                policy=make_policy(scheduler),
+                config=config,
+                faults=schedule,
+                seed=seed,
+            ).run()
+            results[(engine_name, scenario_name)] = result
+            metrics = compute_metrics(result)
+            goodput = metrics["slo"]["goodput_rps"]
+            runs[scenario_name] = {
+                "schedule": schedule.to_dict(),
+                "metrics": metrics,
+                "accounting": _accounting(result),
+                #: Goodput retained vs the same engine's fault-free run.
+                "goodput_retention": (goodput / base_goodput)
+                if base_goodput > 0
+                else None,
+            }
+        doc_engines[engine_name] = runs
+
+    payload = {
+        "schema_version": SCHEMA_VERSION,
+        "model": model_name,
+        "seed": seed,
+        "trace": {
+            "name": trace.name,
+            "requests": len(trace),
+            "horizon_s": trace.horizon_s,
+            "total_tokens": trace.total_tokens,
+        },
+        "scheduler": scheduler,
+        "config": {
+            "max_batch": config.max_batch,
+            "retry_limit": config.retry_limit,
+            "backoff_base_s": config.backoff_base_s,
+            "backoff_cap_s": config.backoff_cap_s,
+            "backoff_jitter": config.backoff_jitter,
+            "drift_tolerance": config.drift_tolerance,
+            "request_deadline_s": config.request_deadline_s,
+        },
+        "scenarios": list(scenarios),
+        "engines": doc_engines,
+        "all_accounting_ok": all(
+            runs[s]["accounting"]["accounting_ok"]
+            for runs in doc_engines.values()
+            for s in runs
+        ),
+    }
+    return payload, results
+
+
+def write_bench_chaos(path: str = "BENCH_chaos.json", **kwargs: Any) -> dict[str, Any]:
+    """Run the chaos matrix and write the payload to ``path``."""
+    payload, _ = run_chaos(**kwargs)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    return payload
+
+
+def chaos_rows(payload: dict[str, Any]) -> list[dict[str, Any]]:
+    """Flatten one chaos payload into CLI/markdown table rows."""
+    rows: list[dict[str, Any]] = []
+    for engine_name, runs in payload["engines"].items():
+        for scenario_name, run in runs.items():
+            m = run["metrics"]
+            f = m.get("faults", {})
+            rows.append(
+                {
+                    "engine": engine_name,
+                    "scenario": scenario_name,
+                    "done": m["requests"]["finished"],
+                    "drop": m["requests"]["dropped"],
+                    "aborts": f.get("aborted_steps", 0),
+                    "replans": f.get("replans", 0),
+                    "final_rung": f.get("final_rung", "-"),
+                    "avail": round(f.get("availability", 1.0), 3),
+                    "degr_frac": round(f.get("degraded_time_fraction", 0.0), 3),
+                    "goodput_rps": round(m["slo"]["goodput_rps"], 3),
+                    "retention": (
+                        round(run["goodput_retention"], 3)
+                        if run.get("goodput_retention") is not None
+                        else "-"
+                    ),
+                    "slo_att": round(m["slo"]["attainment"], 3),
+                    "ok": run["accounting"]["accounting_ok"],
+                }
+            )
+    return rows

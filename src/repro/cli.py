@@ -9,6 +9,7 @@ experiment        regenerate one of the paper's tables/figures
 whatif            hardware sensitivity sweep
 trace             export a Chrome trace of a decode schedule
 serve-sim         request-level serving simulation, write BENCH_serving.json
+chaos             fault-injection serving runs, write BENCH_chaos.json
 bench-timing      time the planner/cost-model hot path, write BENCH_timing.json
 """
 
@@ -265,6 +266,55 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    import json
+
+    from repro.bench.chaos import SCENARIO_ORDER, chaos_rows, run_chaos
+    from repro.bench.serving import ENGINES
+    from repro.serving import default_trace, export_request_timeline
+    from repro.serving.simulator import ServingConfig
+
+    engines = tuple(ENGINES) if args.engine == "all" else (args.engine,)
+    scenarios = (
+        tuple(SCENARIO_ORDER) if args.scenario == "all" else (args.scenario,)
+    )
+    trace = default_trace(quick=args.quick, seed=args.seed)
+    config = ServingConfig(
+        max_batch=args.max_batch,
+        retry_limit=args.retry_limit,
+        backoff_base_s=args.backoff_base,
+        backoff_cap_s=args.backoff_cap,
+        request_deadline_s=args.deadline,
+    )
+    payload, results = run_chaos(
+        model_name=args.model,
+        trace=trace,
+        scheduler=args.scheduler,
+        config=config,
+        engines=engines,
+        scenarios=scenarios,
+        seed=args.seed,
+    )
+    print(f"trace: {trace.describe()}   seed: {args.seed}")
+    print(format_table(chaos_rows(payload), f"chaos: {args.model}"))
+    if not payload["all_accounting_ok"]:
+        print("WARNING: request accounting failed for at least one run")
+    with open(args.output, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"written to {args.output}")
+    if args.chrome_trace:
+        engine = engines[0] if len(engines) == 1 else "lm-offload"
+        scenario = scenarios[0]
+        builder = export_request_timeline(results[(engine, scenario)])
+        builder.save(args.chrome_trace)
+        print(
+            f"chaos timeline ({engine} x {scenario}) written to "
+            f"{args.chrome_trace}"
+        )
+    return 0 if payload["all_accounting_ok"] else 1
+
+
 def cmd_bench_timing(args) -> int:
     from repro.bench.timing import write_bench_timing
 
@@ -377,6 +427,40 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--layers", type=int, default=8, help="layers to trace")
     p.add_argument("--output", default="decode_trace.json")
     p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "chaos",
+        help="serving under injected faults (seeded scenarios, all engines)",
+    )
+    p.add_argument("--model", default="opt-30b", help="registered model name")
+    p.add_argument(
+        "--engine", default="all",
+        choices=["all", "lm-offload", "flexgen", "zero-inference"],
+    )
+    p.add_argument(
+        "--scenario", default="all",
+        choices=["all", "pcie-degrade", "flaky-pcie", "cpu-throttle",
+                 "mem-crunch", "gpu-brownout", "multi-fault"],
+    )
+    p.add_argument(
+        "--scheduler", default="fcfs",
+        choices=["fcfs", "sjf", "priority", "priority-preempt"],
+    )
+    p.add_argument("--max-batch", type=int, default=64)
+    p.add_argument("--retry-limit", type=int, default=3)
+    p.add_argument("--backoff-base", type=float, default=0.5)
+    p.add_argument("--backoff-cap", type=float, default=8.0)
+    p.add_argument(
+        "--deadline", type=float, default=None,
+        help="per-request deadline (s) checked at fault aborts",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--chrome-trace", help="export one run's request timeline here")
+    p.add_argument(
+        "--quick", action="store_true", help="short trace (CI smoke)"
+    )
+    p.add_argument("--output", default="BENCH_chaos.json")
+    p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser(
         "bench-timing", help="time plan()/breakdown()/tab3, write BENCH_timing.json"

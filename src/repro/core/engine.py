@@ -38,6 +38,14 @@ class LMOffloadEngine:
     name: str = "lm-offload"
 
     def __post_init__(self) -> None:
+        #: Active degradation rung (``None`` = nominal); see
+        #: :data:`repro.faults.LADDER` and :meth:`set_degradation`.
+        self._degradation = None
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        """Derive every platform-dependent structure (and drop the plan
+        memo — a plan is only valid for the platform it was searched on)."""
         self.hw = HardwareParams.from_platform(self.platform)
         self.topology = CpuTopology.from_device(self.platform.cpu)
         self.contention = ContentionModel(self.topology, self.platform.cache)
@@ -46,6 +54,29 @@ class LMOffloadEngine:
         #: workload).  Serving prices thousands of steps against a handful
         #: of distinct geometries; each must pay for one search only.
         self._plan_memo: dict[Workload, tuple] = {}
+
+    def retarget(self, platform: Platform) -> None:
+        """Point the engine at a (possibly degraded) platform.
+
+        The drift watchdog calls this when the effective hardware deviates
+        beyond tolerance: every derived structure (hardware rates, CPU
+        topology, contention model, thread profiles) is rebuilt from the
+        new specs and all :meth:`plan_cached` entries are invalidated, so
+        the next plan request replans from scratch against reality.
+        """
+        self.platform = platform
+        self._rebuild()
+
+    def set_degradation(self, rung) -> None:
+        """Engage a :class:`~repro.faults.DegradationRung` (``None`` resets).
+
+        ``force_quant`` constrains the policy search to quantized W/KV
+        candidates; ``force_cpu_attention`` pins attention to the CPU so
+        the KV cache stays off the (degraded) interconnect.  Invalidates
+        the plan memo — rung changes change the search space.
+        """
+        self._degradation = rung
+        self._plan_memo = {}
 
     @property
     def calibration(self):
@@ -60,13 +91,21 @@ class LMOffloadEngine:
     def _planner(
         self, ctx: CpuExecutionContext, mem_cache: dict | None = None
     ) -> PolicyPlanner:
+        rung = self._degradation
+        allow_gpu_attention = self.config.allow_gpu_attention
+        require_quant = False
+        if rung is not None:
+            require_quant = rung.force_quant and self.config.quant_aware
+            if rung.force_cpu_attention:
+                allow_gpu_attention = False
         return PolicyPlanner(
             hw=self.hw,
             cpu_ctx=ctx,
             quant_aware=self.config.quant_aware,
             quant=self.config.quant,
             wg_step=self.config.wg_step,
-            allow_gpu_attention=self.config.allow_gpu_attention,
+            allow_gpu_attention=allow_gpu_attention,
+            require_quant=require_quant,
             mem_cache=mem_cache,
         )
 

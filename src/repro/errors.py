@@ -57,3 +57,43 @@ class PolicyError(ReproError):
 
 class ServingError(ReproError):
     """The serving simulator was misconfigured or reached a dead end."""
+
+
+class FaultError(ReproError):
+    """A fault specification could not be applied to the platform.
+
+    Attributes
+    ----------
+    kind:
+        The fault kind (``FaultKind.value``) that failed to apply.
+    detail:
+        Human-readable reason (unknown device, missing link...).
+    """
+
+    def __init__(self, kind: str, detail: str) -> None:
+        super().__init__(f"fault {kind}: {detail}")
+        self.kind = kind
+        self.detail = detail
+
+
+class RetryExhaustedError(ReproError):
+    """A request burned through its per-request retry budget.
+
+    Attributes
+    ----------
+    rid:
+        Request id whose budget ran out.
+    attempts:
+        Aborted attempts the request has accumulated.
+    limit:
+        The configured retry budget (``ServingConfig.retry_limit``).
+    """
+
+    def __init__(self, rid: int, attempts: int, limit: int) -> None:
+        super().__init__(
+            f"request {rid}: {attempts} aborted attempts exceed the "
+            f"retry budget of {limit}"
+        )
+        self.rid = rid
+        self.attempts = attempts
+        self.limit = limit

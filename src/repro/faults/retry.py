@@ -1,0 +1,68 @@
+"""Retry semantics: capped exponential backoff with seeded jitter.
+
+The serving simulator retries aborted steps under this policy.  Delays
+are **monotone non-decreasing in the attempt number and capped** — the
+jitter multiplies *inside* the cap, so a jittered early delay can never
+exceed a later one (property-tested in ``tests/test_faults.py``):
+
+    delay(k, u) = min(cap, base * 2^(k-1) * (1 + jitter * u)),  u in [0, 1)
+
+Per-request budgets are separate from the backoff sequence: the backoff
+exponent tracks *consecutive system-level* aborts (and resets on any
+successful step), while each request carries its own lifetime abort count
+against ``retry_limit``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError, RetryExhaustedError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Backoff shape + per-request budget."""
+
+    base_s: float = 0.5
+    cap_s: float = 8.0
+    jitter: float = 0.1
+    limit: int = 3
+
+    def __post_init__(self) -> None:
+        if self.base_s <= 0:
+            raise ConfigError(
+                f"retry policy: backoff base must be > 0 (got {self.base_s}); "
+                "a zero base retries in a tight loop and the simulated clock "
+                "never advances past a persistent fault"
+            )
+        if self.cap_s < self.base_s:
+            raise ConfigError(
+                f"retry policy: backoff cap ({self.cap_s}) must be >= base "
+                f"({self.base_s})"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigError(
+                f"retry policy: jitter must be in [0, 1] (got {self.jitter})"
+            )
+        if self.limit < 0:
+            raise ConfigError(
+                f"retry policy: retry limit must be >= 0 (got {self.limit})"
+            )
+
+    def delay(self, attempt: int, u: float = 0.0) -> float:
+        """Backoff before retry number ``attempt`` (1-based).
+
+        ``u`` is the jitter draw in ``[0, 1)`` — pass a seeded uniform for
+        reproducible jitter, 0 for the deterministic floor.
+        """
+        if attempt < 1:
+            raise ConfigError(f"retry attempt must be >= 1 (got {attempt})")
+        raw = self.base_s * (2.0 ** (attempt - 1)) * (1.0 + self.jitter * u)
+        return min(self.cap_s, raw)
+
+    def check_budget(self, rid: int, attempts: int) -> None:
+        """Raise :class:`RetryExhaustedError` when ``attempts`` exceeds the
+        per-request budget."""
+        if attempts > self.limit:
+            raise RetryExhaustedError(rid, attempts, self.limit)

@@ -1,0 +1,248 @@
+"""Fault specifications: seeded, deterministic perturbations over virtual time.
+
+A :class:`FaultSpec` is one perturbation window — *what* degrades, *when*,
+*how badly*.  A :class:`FaultSchedule` is a validated, frozen collection of
+them plus the seed that generated any stochastic structure (e.g. flap
+timings).  Schedules are pure data: applying one to a platform never
+mutates the base specs (see :mod:`repro.faults.overlay`), and the same
+schedule replayed against the same trace produces byte-identical results.
+
+Severity conventions (all in ``[0, 1]``):
+
+* capability faults (``PCIE_DEGRADE``, ``LINK_FLAP``, ``CPU_THROTTLE``,
+  ``CORE_LOSS``, ``GPU_THROTTLE``, ``HOST_MEM_SHRINK``) — the *fraction of
+  the resource lost*: severity 0.6 on a 32 GB/s link leaves 12.8 GB/s;
+* ``TRANSIENT_ERROR`` — the *per-step abort probability* while the window
+  is active (drawn from the simulator's seeded stream, so runs replay).
+
+Faults within a schedule may overlap freely across kinds/targets; two
+faults of the *same kind on the same target* with overlapping windows are
+rejected at construction (their composition would be ambiguous — merge
+them into one window instead).
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+
+class FaultKind(enum.Enum):
+    """What a fault degrades."""
+
+    PCIE_DEGRADE = "pcie_degrade"      # link bandwidth loss
+    LINK_FLAP = "link_flap"            # near-total link bandwidth loss
+    CPU_THROTTLE = "cpu_throttle"      # CPU frequency + FLOPs loss
+    CORE_LOSS = "core_loss"            # CPU cores taken offline
+    GPU_THROTTLE = "gpu_throttle"      # GPU FLOPs/frequency loss
+    HOST_MEM_SHRINK = "host_mem_shrink"  # host memory pool shrinkage
+    TRANSIENT_ERROR = "transient_error"  # probabilistic step aborts
+
+
+#: Kinds that change hardware capability (and hence the performance model).
+CAPABILITY_KINDS = frozenset(
+    {
+        FaultKind.PCIE_DEGRADE,
+        FaultKind.LINK_FLAP,
+        FaultKind.CPU_THROTTLE,
+        FaultKind.CORE_LOSS,
+        FaultKind.GPU_THROTTLE,
+        FaultKind.HOST_MEM_SHRINK,
+    }
+)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault window.
+
+    Parameters
+    ----------
+    kind:
+        What degrades.
+    start_s, duration_s:
+        Window ``[start_s, start_s + duration_s)`` in virtual seconds.
+    severity:
+        Fraction of the resource lost (capability kinds) or per-step abort
+        probability (``TRANSIENT_ERROR``); always in ``[0, 1]``.
+    device:
+        Target device name for device kinds (default: the platform's CPU
+        for CPU/memory kinds, every GPU for ``GPU_THROTTLE``).
+    link:
+        ``(end_a, end_b)`` for link kinds (default: every CPU<->GPU link).
+    """
+
+    kind: FaultKind
+    start_s: float
+    duration_s: float
+    severity: float
+    device: str | None = None
+    link: tuple[str, str] | None = None
+
+    def __post_init__(self) -> None:
+        if self.start_s < 0:
+            raise ConfigError(
+                f"fault {self.kind.value}: start_s must be >= 0 "
+                f"(got {self.start_s}); faults live on the simulator's "
+                "virtual clock, which starts at 0"
+            )
+        if self.duration_s <= 0:
+            raise ConfigError(
+                f"fault {self.kind.value}: duration_s must be > 0 "
+                f"(got {self.duration_s}); to disable a fault, omit it "
+                "from the schedule rather than zeroing its window"
+            )
+        if not 0.0 <= self.severity <= 1.0:
+            raise ConfigError(
+                f"fault {self.kind.value}: severity must be in [0, 1] "
+                f"(got {self.severity}); severity is the fraction of the "
+                "resource lost (or the abort probability for "
+                "transient_error), not a multiplier"
+            )
+        if self.kind is FaultKind.CORE_LOSS and self.severity >= 1.0:
+            raise ConfigError(
+                "fault core_loss: severity must be < 1 (at least one core "
+                "must survive; use host_mem_shrink + cpu_throttle to model "
+                "a dead host)"
+            )
+        if self.link is not None and len(self.link) != 2:
+            raise ConfigError(
+                f"fault {self.kind.value}: link must be a (src, dst) pair"
+            )
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.duration_s
+
+    def active(self, t: float) -> bool:
+        """Is this fault in effect at virtual time ``t``?"""
+        return self.start_s <= t < self.end_s
+
+    @property
+    def target_key(self) -> tuple:
+        """Identity used for the same-kind overlap check."""
+        link = tuple(sorted(self.link)) if self.link else None
+        return (self.kind.value, self.device, link)
+
+    def to_dict(self) -> dict:
+        doc: dict = {
+            "kind": self.kind.value,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "severity": self.severity,
+        }
+        if self.device is not None:
+            doc["device"] = self.device
+        if self.link is not None:
+            doc["link"] = list(self.link)
+        return doc
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """A named, validated set of fault windows (plus the generating seed).
+
+    The schedule is piecewise-constant: the set of active faults only
+    changes at window starts/ends, which :meth:`change_points` exposes so
+    consumers (the serving simulator's watchdog) can cache the current
+    segment instead of re-deriving the overlay every step.
+    """
+
+    name: str
+    faults: tuple[FaultSpec, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        by_target: dict[tuple, list[FaultSpec]] = {}
+        for f in self.faults:
+            by_target.setdefault(f.target_key, []).append(f)
+        for target, group in by_target.items():
+            group = sorted(group, key=lambda f: (f.start_s, f.end_s))
+            for a, b in zip(group, group[1:]):
+                if b.start_s < a.end_s:
+                    raise ConfigError(
+                        f"fault schedule {self.name!r}: two {target[0]} "
+                        f"faults on the same target overlap "
+                        f"([{a.start_s:g}, {a.end_s:g}) and "
+                        f"[{b.start_s:g}, {b.end_s:g})); merge them into "
+                        "one window — their composition is ambiguous"
+                    )
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    # -- time structure ----------------------------------------------------
+
+    def change_points(self) -> list[float]:
+        """Sorted distinct times at which the active-fault set changes."""
+        points = {f.start_s for f in self.faults} | {f.end_s for f in self.faults}
+        return sorted(points)
+
+    def next_change_after(self, t: float) -> float | None:
+        """The first change point strictly after ``t`` (None when none)."""
+        for p in self.change_points():
+            if p > t:
+                return p
+        return None
+
+    def segment_key(self, t: float) -> tuple[int, ...]:
+        """Indices of the faults active at ``t`` (the piecewise segment id)."""
+        return tuple(i for i, f in enumerate(self.faults) if f.active(t))
+
+    # -- queries -----------------------------------------------------------
+
+    def active(self, t: float) -> list[FaultSpec]:
+        return [f for f in self.faults if f.active(t)]
+
+    def capability_faults(self, t: float) -> list[FaultSpec]:
+        """Active faults that change hardware capability at ``t``."""
+        return [f for f in self.active(t) if f.kind in CAPABILITY_KINDS]
+
+    def transient_abort_probability(self, t: float) -> float:
+        """Combined per-step abort probability at ``t``.
+
+        Independent transient faults compose as ``1 - prod(1 - p_i)``.
+        """
+        survive = 1.0
+        for f in self.active(t):
+            if f.kind is FaultKind.TRANSIENT_ERROR:
+                survive *= 1.0 - f.severity
+        return 1.0 - survive
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "faults": [f.to_dict() for f in self.faults],
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def describe(self) -> str:
+        if not self.faults:
+            return f"{self.name}: no faults"
+        kinds: dict[str, int] = {}
+        for f in self.faults:
+            kinds[f.kind.value] = kinds.get(f.kind.value, 0) + 1
+        span = (
+            f"[{min(f.start_s for f in self.faults):g}, "
+            f"{max(f.end_s for f in self.faults):g})s"
+        )
+        parts = ", ".join(f"{n}x {k}" for k, n in sorted(kinds.items()))
+        return f"{self.name}: {parts} over {span}"
+
+
+def zero_schedule(name: str = "no-faults") -> FaultSchedule:
+    """An empty schedule — the fault layer's identity element.
+
+    A simulator given this schedule takes the exact fault-free code path
+    and reproduces the fault-free metrics byte for byte (asserted in
+    ``tests/test_chaos_serving.py``).
+    """
+    return FaultSchedule(name=name, faults=())

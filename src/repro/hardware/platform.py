@@ -99,6 +99,18 @@ class Platform:
         for pool in self.pools.values():
             pool.clear()
 
+    def with_faults(self, faults, t: float) -> "Platform":
+        """This platform as a fault schedule leaves it at time ``t``.
+
+        Non-destructive: returns a new :class:`Platform` (or ``self`` when
+        no capability fault is active at ``t``); the base specs are never
+        mutated.  ``faults`` is a :class:`~repro.faults.FaultSchedule` or
+        an iterable of :class:`~repro.faults.FaultSpec`.
+        """
+        from repro.faults.overlay import degraded_platform
+
+        return degraded_platform(self, faults, t)
+
 
 # ---------------------------------------------------------------------------
 # Presets (paper Table 4)

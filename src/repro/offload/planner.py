@@ -206,6 +206,10 @@ class PolicyPlanner:
     quant: QuantConfig = field(default_factory=lambda: QuantConfig(bits=4, group_size=64))
     wg_step: float = 0.05
     allow_gpu_attention: bool = True
+    #: Degraded-mode lever: drop the unquantized candidate from the menu so
+    #: the search must pick a quantized W/KV configuration (the ladder's
+    #: "aggressive quantization" rung under memory/wire pressure).
+    require_quant: bool = False
     objective: PlannerObjective = PlannerObjective.THROUGHPUT
     mem_cache: dict | None = None
 
@@ -215,6 +219,8 @@ class PolicyPlanner:
         if not self.quant_aware:
             return [(None, None)]
         q = self.quant
+        if self.require_quant:
+            return [(q, None), (None, q), (q, q)]
         return [(None, None), (q, None), (None, q), (q, q)]
 
     def _attention_menu(self) -> list[bool]:

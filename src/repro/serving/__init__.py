@@ -12,6 +12,12 @@ Entry points: ``python -m repro serve-sim`` (CLI),
 :class:`ServingSimulator` (library), and
 :func:`repro.bench.serving.run_serving_comparison` (the
 ``BENCH_serving.json`` engine-vs-engine harness).
+
+Fault injection rides on top: pass a
+:class:`~repro.faults.FaultSchedule` (and a seed) to
+:class:`ServingSimulator` and the loop gains drift-watchdog replanning,
+the graceful-degradation ladder and retry/backoff semantics — see
+``python -m repro chaos`` and :mod:`repro.bench.chaos`.
 """
 
 from repro.serving.arrivals import (

@@ -26,7 +26,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.errors import PolicyError, ServingError
+from repro.errors import MemoryCapacityError, PolicyError, ServingError
 from repro.models.config import ModelConfig
 from repro.offload.planner import MemoryPrescreen
 from repro.perfmodel.latency import CostModel
@@ -57,6 +57,10 @@ class StepCostOracle:
     _plans: dict[int, tuple | None] = field(default_factory=dict, repr=False)
     _step_cache: dict[tuple, float] = field(default_factory=dict, repr=False)
     _mem_cache: dict = field(default_factory=dict, repr=False)
+    #: Planner error message per concurrency level that failed to plan —
+    #: admission attaches this to the INFEASIBLE drop so rejections carry
+    #: the *reason*, not just the verdict.
+    _plan_errors: dict[int, str] = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
         if self.num_gpu_batches <= 0 or self.ctx_bucket <= 0:
@@ -74,16 +78,39 @@ class StepCostOracle:
 
     def planned(self, n_seqs: int):
         """(policy, cpu_ctx) for ``n_seqs`` concurrent sequences, or
-        ``None`` when the engine has no feasible plan at that level."""
+        ``None`` when the engine has no feasible plan at that level.
+
+        Planner failures (:class:`PolicyError` — no feasible placement —
+        and :class:`MemoryCapacityError` — a hard capacity wall) are
+        absorbed into the ``None`` verdict; their messages are kept and
+        retrievable via :meth:`last_plan_error`.
+        """
         if n_seqs <= 0:
             raise ServingError("n_seqs must be positive")
         if n_seqs not in self._plans:
             try:
                 policy, ctx, _ = self.engine.plan_cached(self._plan_workload(n_seqs))
                 self._plans[n_seqs] = (policy, ctx)
-            except PolicyError:
+            except (PolicyError, MemoryCapacityError) as exc:
                 self._plans[n_seqs] = None
+                self._plan_errors[n_seqs] = f"{type(exc).__name__}: {exc}"
         return self._plans[n_seqs]
+
+    def last_plan_error(self, n_seqs: int) -> str | None:
+        """The planner's error message for a level that failed to plan."""
+        return self._plan_errors.get(n_seqs)
+
+    def invalidate(self) -> None:
+        """Drop every cached plan, price and feasibility verdict.
+
+        The drift watchdog calls this after retargeting the engine to a
+        degraded platform: every cached answer was priced against specs
+        that no longer hold.
+        """
+        self._plans.clear()
+        self._step_cache.clear()
+        self._mem_cache.clear()
+        self._plan_errors.clear()
 
     def _price_workload(self, policy, ctx_b: int) -> Workload:
         # gen_len=2 gives the model exactly one decode token to price;

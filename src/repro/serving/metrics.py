@@ -13,6 +13,12 @@ Vocabulary (the standard LLM-serving metric set):
 * **goodput** — *SLO-compliant* completions per second: requests that
   finished with ``TTFT <= ttft_slo`` and ``TPOT <= tpot_slo``, divided by
   the makespan.  Throughput counts tokens; goodput counts kept promises.
+
+Chaos runs (a fault schedule was injected) additionally carry a
+``faults`` section — aborted steps, retries, replans, ladder transitions,
+availability (fraction of the run not lost to aborts/backoff), degraded
+time fraction, and SLO attainment *under chaos*.  The section is omitted
+entirely for fault-free runs so their documents stay byte-identical.
 """
 
 from __future__ import annotations
@@ -61,7 +67,7 @@ def compute_metrics(result: ServingResult) -> dict[str, Any]:
     depths = [w + g for _, w, g in result.queue_depth]
     waits = [w for _, w, _ in result.queue_depth]
 
-    return {
+    doc = {
         "engine": result.engine,
         "trace": result.trace_name,
         "scheduler": result.policy_name,
@@ -100,6 +106,17 @@ def compute_metrics(result: ServingResult) -> dict[str, Any]:
         },
         "makespan_s": result.makespan_s,
     }
+    if result.fault_stats is not None:
+        # Present only for chaos runs, so fault-free metrics documents stay
+        # byte-identical to the pre-fault-layer output.
+        doc["steps"]["aborted"] = sum(
+            1 for s in result.steps if s.kind.startswith("abort-")
+        )
+        faults = result.fault_stats.to_dict(result.makespan_s)
+        faults["retries"] = sum(r.retries for r in result.requests)
+        faults["slo_attainment_under_chaos"] = doc["slo"]["attainment"]
+        doc["faults"] = faults
+    return doc
 
 
 def metrics_row(metrics: dict[str, Any]) -> dict[str, Any]:

@@ -25,6 +25,10 @@ class DropReason(enum.Enum):
     QUEUE_FULL = "queue_full"
     TIMEOUT = "timeout"
     INFEASIBLE = "infeasible"
+    #: An aborted step pushed the request past its deadline (fault layer).
+    FAULT_ABORT = "fault_abort"
+    #: The request burned through its per-request retry budget.
+    RETRY_EXHAUSTED = "retry_exhausted"
 
 
 @dataclass(frozen=True)
@@ -68,6 +72,12 @@ class Request:
     drop_reason: DropReason | None = None
     tokens_done: int = 0
     preemptions: int = 0
+    #: Aborted steps this request has been caught in (fault layer);
+    #: counted against ``ServingConfig.retry_limit``.
+    retries: int = 0
+    #: Human-readable detail attached to a drop (e.g. the planner error
+    #: message behind an INFEASIBLE verdict).
+    drop_detail: str | None = None
     #: Queue re-entries after preemption do not reset ``arrival_s``; the
     #: scheduler keys on this field so FCFS stays stable under preemption.
     queued_since_s: float = field(default=0.0)

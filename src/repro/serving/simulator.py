@@ -19,9 +19,23 @@ offloading serving loop would run on real hardware:
    six tasks, times the ``l x k`` zig-zag iterations) at the batch's
    maximum context length.
 
-Nothing here is stochastic: traces are frozen up front, ties are total
-orders, and the clock is pure float arithmetic — two runs with the same
-trace are byte-identical, which the tests assert.
+Fault injection (optional, off by default): pass a
+:class:`~repro.faults.FaultSchedule` and the loop gains chaos semantics —
+a **drift watchdog** re-derives the effective platform at every fault
+segment boundary, retargets the engine and invalidates every cached plan
+when the deviation exceeds ``drift_tolerance``, and walks the
+:data:`~repro.faults.LADDER` until a rung plans again; **transient
+faults** abort in-flight steps (the work is lost) and retry after a
+capped, seeded-jitter exponential backoff, with per-request retry budgets
+and optional deadlines producing ``RETRY_EXHAUSTED`` / ``FAULT_ABORT``
+drops.  With no schedule (or an empty one) none of this code runs and the
+loop is step-for-step identical to the fault-free simulator.
+
+Nothing here is stochastic unless a fault schedule says so: traces are
+frozen up front, ties are total orders, the clock is pure float
+arithmetic, and every fault draw comes from one named seeded stream — two
+runs with the same trace, schedule and seed are byte-identical, which the
+tests assert.
 """
 
 from __future__ import annotations
@@ -29,13 +43,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.errors import ServingError
+from repro.errors import ConfigError, RetryExhaustedError
+from repro.faults import LADDER, FaultSchedule, FaultStats, RetryPolicy, relative_drift
 from repro.models.config import ModelConfig
+from repro.perfmodel.notation import HardwareParams
 from repro.serving.arrivals import RequestTrace
 from repro.serving.costing import StepCostOracle
 from repro.serving.policies import SchedulerPolicy
 from repro.serving.queue import AdmissionQueue
 from repro.serving.request import DropReason, Request, RequestState
+from repro.util.rng import seeded_rng
 
 
 @dataclass(frozen=True)
@@ -55,18 +72,72 @@ class ServingConfig:
     tpot_slo_s: float = 3.5
     ctx_bucket: int = 32
 
+    # -- fault semantics (only consulted when a schedule is injected) -----
+    #: Aborted steps a single request may survive before RETRY_EXHAUSTED.
+    retry_limit: int = 3
+    #: Capped exponential backoff after an aborted step: the k-th
+    #: consecutive abort waits ``min(cap, base * 2^(k-1) * (1+jitter*u))``.
+    backoff_base_s: float = 0.5
+    backoff_cap_s: float = 8.0
+    backoff_jitter: float = 0.1
+    #: Max relative deviation of any effective hardware rate/capacity from
+    #: the currently applied specs before the watchdog retargets + replans.
+    drift_tolerance: float = 0.05
+    #: Arrival-to-now budget checked when a request is caught in an abort;
+    #: exceeding it drops the request FAULT_ABORT.  ``None`` = no deadline.
+    request_deadline_s: float | None = None
+
     def __post_init__(self) -> None:
         if self.max_batch <= 0:
-            raise ServingError("max_batch must be positive")
+            raise ConfigError(
+                f"serving config: max_batch must be positive (got "
+                f"{self.max_batch}); the loop needs at least one GPU slot"
+            )
+        if self.num_gpu_batches <= 0:
+            raise ConfigError(
+                f"serving config: num_gpu_batches must be positive (got "
+                f"{self.num_gpu_batches})"
+            )
         if self.ttft_slo_s <= 0 or self.tpot_slo_s <= 0:
-            raise ServingError("SLO targets must be positive")
+            raise ConfigError(
+                "serving config: SLO targets must be positive (got "
+                f"ttft_slo_s={self.ttft_slo_s}, tpot_slo_s={self.tpot_slo_s})"
+            )
+        if self.drift_tolerance <= 0:
+            raise ConfigError(
+                f"serving config: drift_tolerance must be > 0 (got "
+                f"{self.drift_tolerance}); a zero tolerance would replan on "
+                "every float-level wobble"
+            )
+        if self.request_deadline_s is not None and self.request_deadline_s <= 0:
+            raise ConfigError(
+                f"serving config: request_deadline_s must be positive when "
+                f"set (got {self.request_deadline_s}); use None for no "
+                "deadline"
+            )
+        # Backoff shape is validated by the policy it will construct —
+        # single source of truth for those (actionable) messages.
+        self.retry_policy()
+
+    def retry_policy(self) -> RetryPolicy:
+        return RetryPolicy(
+            base_s=self.backoff_base_s,
+            cap_s=self.backoff_cap_s,
+            jitter=self.backoff_jitter,
+            limit=self.retry_limit,
+        )
 
 
 @dataclass(frozen=True)
 class StepRecord:
-    """One GPU step: what ran, when, at what batch/context."""
+    """One GPU step: what ran, when, at what batch/context.
 
-    kind: str  # "prefill" | "decode"
+    ``kind`` is ``"prefill"`` / ``"decode"`` for completed steps and
+    ``"abort-prefill"`` / ``"abort-decode"`` for steps a transient fault
+    killed (their interval covers the lost work, not the backoff wait).
+    """
+
+    kind: str
     start_s: float
     end_s: float
     batch: int
@@ -91,6 +162,11 @@ class ServingResult:
     #: (clock, waiting, running) sampled after every step boundary.
     queue_depth: list[tuple[float, int, int]]
     makespan_s: float
+    #: Fault-layer bookkeeping; ``None`` when no (non-empty) schedule was
+    #: injected, so fault-free results stay byte-identical to the
+    #: pre-fault-layer simulator.
+    fault_stats: FaultStats | None = None
+    fault_schedule: FaultSchedule | None = None
 
     @property
     def finished(self) -> list[Request]:
@@ -111,12 +187,21 @@ class ServingSimulator:
         trace: RequestTrace,
         policy: SchedulerPolicy | None = None,
         config: ServingConfig | None = None,
+        faults: FaultSchedule | None = None,
+        seed: int = 0,
     ) -> None:
         self.engine = engine
         self.model = model
         self.trace = trace
         self.policy = policy or SchedulerPolicy()
         self.config = config or ServingConfig()
+        self.faults = faults
+        self.seed = seed
+        #: Chaos mode is engaged only by a non-empty schedule; an empty
+        #: one (``zero_schedule()``) runs the exact fault-free code path.
+        self._chaos = faults is not None and len(faults.faults) > 0
+        #: The pristine platform every degraded overlay derives from.
+        self.base_platform = engine.platform
         max_prompt = max((r.prompt_len for r in trace.requests), default=64)
         max_gen = max((r.gen_len for r in trace.requests), default=32)
         # Plan at the trace's maximum context so the chosen placement stays
@@ -133,14 +218,20 @@ class ServingSimulator:
     # -- admission ---------------------------------------------------------
 
     def _admit(
-        self, queue: AdmissionQueue, running: list[Request], now: float
+        self,
+        queue: AdmissionQueue,
+        running: list[Request],
+        now: float,
+        limit: int | None = None,
     ) -> list[Request]:
         """Move requests queue -> GPU per the policy, bounded by slots and
         by memory feasibility of the enlarged batch."""
+        if limit is None:
+            limit = self.config.max_batch
         admitted: list[Request] = []
         for req in self.policy.order(list(queue.waiting), now):
             occupied = len(running) + len(admitted)
-            if occupied >= self.config.max_batch:
+            if occupied >= limit:
                 if not (self.policy.preemptive and running):
                     break
                 victim = self.policy.victim(running, req)
@@ -157,11 +248,16 @@ class ServingSimulator:
             if not self.oracle.feasible(len(running) + len(admitted) + 1, ctx):
                 if not running and not admitted:
                     # Even alone this request can never fit: drop it rather
-                    # than wedge the loop.
+                    # than wedge the loop — carrying the planner's own
+                    # error message when planning (not the prescreen) said no.
                     queue.take(req)
                     req.state = RequestState.DROPPED
                     req.drop_s = now
                     req.drop_reason = DropReason.INFEASIBLE
+                    req.drop_detail = self.oracle.last_plan_error(1) or (
+                        f"memory prescreen rejected a singleton batch at "
+                        f"context {ctx}"
+                    )
                     queue.dropped.append(req)
                     continue
                 break
@@ -172,6 +268,7 @@ class ServingSimulator:
 
     def run(self) -> ServingResult:
         cfg = self.config
+        chaos = self._chaos
         pending = [
             Request.from_spec(i, spec) for i, spec in enumerate(self.trace.requests)
         ]
@@ -182,6 +279,25 @@ class ServingSimulator:
         depth: list[tuple[float, int, int]] = []
         t = 0.0
         i = 0
+
+        stats: FaultStats | None = None
+        if chaos:
+            assert self.faults is not None
+            stats = FaultStats(schedule_name=self.faults.name)
+            rng = seeded_rng(self.seed, "serving", "chaos", self.faults.name)
+            retry = cfg.retry_policy()
+            base_hw = HardwareParams.from_platform(self.base_platform)
+            applied_hw = base_hw
+            fault_key: tuple | None = None
+            rung_idx = 0
+            consec_aborts = 0
+            degraded_since: float | None = None
+            # The loop's planning ceiling under nominal specs: the rung
+            # probe divides this rather than max_batch so a ceiling the
+            # engine never planned at doesn't masquerade as fault damage.
+            probe_n = cfg.max_batch
+            while probe_n > 1 and self.oracle.planned(probe_n) is None:
+                probe_n //= 2
 
         def finish_token(req: Request, now: float) -> bool:
             """Credit one generated token; True when the request completed."""
@@ -194,6 +310,114 @@ class ServingSimulator:
                 return True
             return False
 
+        def probe_ladder() -> int:
+            """First rung (mildest first) whose constrained search still
+            plans on the degraded platform; engages it on the engine."""
+            for idx, rung in enumerate(LADDER):
+                if not rung.admit:
+                    self.engine.set_degradation(rung)
+                    self.oracle.invalidate()
+                    return idx
+                self.engine.set_degradation(rung if idx > 0 else None)
+                self.oracle.invalidate()
+                target = max(1, probe_n // rung.batch_divisor)
+                if self.oracle.planned(target) is not None:
+                    return idx
+            return len(LADDER) - 1
+
+        def sync_faults(now: float) -> None:
+            """Drift watchdog: runs once per fault segment (cheap key check
+            otherwise); retargets/replans/walks the ladder on drift and
+            unwinds everything on recovery."""
+            nonlocal running, fault_key, applied_hw, rung_idx, degraded_since
+            assert self.faults is not None and stats is not None
+            key = self.faults.segment_key(now)
+            if key != fault_key:
+                fault_key = key
+                effective = self.base_platform.with_faults(self.faults, now)
+                eff_hw = HardwareParams.from_platform(effective)
+                if relative_drift(applied_hw, eff_hw) > cfg.drift_tolerance:
+                    self.engine.retarget(effective)
+                    self.oracle.invalidate()
+                    base_drift = relative_drift(base_hw, eff_hw)
+                    recovered = base_drift <= cfg.drift_tolerance
+                    # On recovery the overlay returns the base platform
+                    # itself; track that by identity so the degraded-time
+                    # window closes.
+                    applied_hw = base_hw if recovered else eff_hw
+                    cause = "recovery" if recovered else "drift"
+                    stats.replans.append((now, cause, base_drift))
+                    if recovered:
+                        self.engine.set_degradation(None)
+                        self.oracle.invalidate()
+                        new_idx = 0
+                    else:
+                        new_idx = probe_ladder()
+                    if new_idx != rung_idx:
+                        stats.transitions.append(
+                            (now, LADDER[rung_idx].name, LADDER[new_idx].name, cause)
+                        )
+                        rung_idx = new_idx
+                    # Shed the most recently admitted requests until the
+                    # running batch fits the degraded platform again.
+                    while running and not self.oracle.feasible(
+                        len(running), max(r.context_len + 1 for r in running)
+                    ):
+                        victim = running.pop()
+                        victim.preemptions += 1
+                        queue.requeue(victim, now)
+                        stats.sheds.append((now, victim.rid))
+            degraded = rung_idx > 0 or applied_hw is not base_hw
+            if degraded and degraded_since is None:
+                degraded_since = now
+            elif not degraded and degraded_since is not None:
+                stats.degraded_s += now - degraded_since
+                degraded_since = None
+
+        def fault_abort(
+            start: float, dur: float, kind: str, participants: list[Request]
+        ) -> tuple[float, list[Request]]:
+            """Charge an aborted step + backoff; cull requests that blew
+            their deadline (FAULT_ABORT) or budget (RETRY_EXHAUSTED).
+            Returns (clock after backoff, surviving participants)."""
+            nonlocal consec_aborts
+            assert stats is not None
+            consec_aborts += 1
+            end = start + dur
+            delay = retry.delay(consec_aborts, float(rng.random()))
+            stats.aborts.append((start, end, kind, len(participants)))
+            stats.backoffs.append((end, end + delay, consec_aborts))
+            stats.lost_s += dur + delay
+            now = end + delay
+            survivors: list[Request] = []
+            for req in participants:
+                req.retries += 1
+                if (
+                    cfg.request_deadline_s is not None
+                    and now - req.arrival_s > cfg.request_deadline_s
+                ):
+                    req.state = RequestState.DROPPED
+                    req.drop_s = now
+                    req.drop_reason = DropReason.FAULT_ABORT
+                    req.drop_detail = (
+                        f"{kind} step aborted by a transient fault at "
+                        f"t={end:.3f}s; past the {cfg.request_deadline_s:g}s "
+                        "deadline"
+                    )
+                    queue.dropped.append(req)
+                    continue
+                try:
+                    retry.check_budget(req.rid, req.retries)
+                except RetryExhaustedError as exc:
+                    req.state = RequestState.DROPPED
+                    req.drop_s = now
+                    req.drop_reason = DropReason.RETRY_EXHAUSTED
+                    req.drop_detail = str(exc)
+                    queue.dropped.append(req)
+                    continue
+                survivors.append(req)
+            return now, survivors
+
         while i < len(pending) or queue.waiting or running:
             if not queue.waiting and not running:
                 # Idle: jump the clock to the next arrival.
@@ -202,43 +426,125 @@ class ServingSimulator:
                 queue.offer(pending[i], pending[i].arrival_s)
                 i += 1
             queue.expire(t)
+            if chaos:
+                sync_faults(t)
+                rung = LADDER[rung_idx]
+                if rung.admit:
+                    admitted = self._admit(
+                        queue, running, t,
+                        limit=max(1, cfg.max_batch // rung.batch_divisor),
+                    )
+                else:
+                    admitted = []
+            else:
+                admitted = self._admit(queue, running, t)
 
-            admitted = self._admit(queue, running, t)
             if admitted:
                 max_ctx = max(r.context_len for r in admitted)
                 dur = self.oracle.prefill_seconds(len(admitted), max_ctx)
                 start = t
-                t += dur
-                rids = []
-                for req in admitted:
-                    req.state = RequestState.RUNNING
-                    if req.admit_s is None:
-                        req.admit_s = start
-                    rids.append(req.rid)
-                    if not finish_token(req, t):
-                        running.append(req)
-                steps.append(
-                    StepRecord(
-                        kind="prefill", start_s=start, end_s=t,
-                        batch=len(admitted), max_ctx=max_ctx, rids=tuple(rids),
+                if chaos and rng.random() < self.faults.transient_abort_probability(start):
+                    t, survivors = fault_abort(start, dur, "prefill", admitted)
+                    for req in survivors:
+                        # Aborted before its first token: back to the queue
+                        # intact (arrival_s keeps its place in FCFS order).
+                        queue.requeue(req, t)
+                    steps.append(
+                        StepRecord(
+                            kind="abort-prefill", start_s=start, end_s=start + dur,
+                            batch=len(admitted), max_ctx=max_ctx,
+                            rids=tuple(r.rid for r in admitted),
+                        )
                     )
-                )
-                depth.append((t, len(queue), len(running)))
+                    depth.append((t, len(queue), len(running)))
+                else:
+                    if chaos:
+                        consec_aborts = 0
+                    t += dur
+                    rids = []
+                    for req in admitted:
+                        req.state = RequestState.RUNNING
+                        if req.admit_s is None:
+                            req.admit_s = start
+                        rids.append(req.rid)
+                        if not finish_token(req, t):
+                            running.append(req)
+                    steps.append(
+                        StepRecord(
+                            kind="prefill", start_s=start, end_s=t,
+                            batch=len(admitted), max_ctx=max_ctx, rids=tuple(rids),
+                        )
+                    )
+                    depth.append((t, len(queue), len(running)))
 
             if running:
                 max_ctx = max(r.context_len for r in running)
                 dur = self.oracle.decode_step_seconds(len(running), max_ctx)
                 start = t
-                t += dur
-                rids = tuple(r.rid for r in running)
-                running = [r for r in running if not finish_token(r, t)]
-                steps.append(
-                    StepRecord(
-                        kind="decode", start_s=start, end_s=t,
-                        batch=len(rids), max_ctx=max_ctx, rids=rids,
+                if chaos and rng.random() < self.faults.transient_abort_probability(start):
+                    rids = tuple(r.rid for r in running)
+                    t, running = fault_abort(start, dur, "decode", running)
+                    steps.append(
+                        StepRecord(
+                            kind="abort-decode", start_s=start, end_s=start + dur,
+                            batch=len(rids), max_ctx=max_ctx, rids=rids,
+                        )
                     )
-                )
-                depth.append((t, len(queue), len(running)))
+                    depth.append((t, len(queue), len(running)))
+                else:
+                    if chaos:
+                        consec_aborts = 0
+                    t += dur
+                    rids = tuple(r.rid for r in running)
+                    running = [r for r in running if not finish_token(r, t)]
+                    steps.append(
+                        StepRecord(
+                            kind="decode", start_s=start, end_s=t,
+                            batch=len(rids), max_ctx=max_ctx, rids=rids,
+                        )
+                    )
+                    depth.append((t, len(queue), len(running)))
+
+            if chaos and not admitted and not running and queue.waiting:
+                # Stalled: backpressure (or blanket infeasibility) with no
+                # step to advance the clock.  Jump to whatever can change
+                # the situation — the next arrival or the next fault
+                # transition; if neither exists the degradation is
+                # permanent and the queue can only be drained by dropping.
+                horizon = [
+                    x
+                    for x in (
+                        pending[i].arrival_s if i < len(pending) else None,
+                        self.faults.next_change_after(t),
+                    )
+                    if x is not None and x > t
+                ]
+                if horizon:
+                    t = min(horizon)
+                else:
+                    for req in list(queue.waiting):
+                        queue.take(req)
+                        req.state = RequestState.DROPPED
+                        req.drop_s = t
+                        req.drop_reason = DropReason.INFEASIBLE
+                        req.drop_detail = (
+                            "backpressure never lifted: no feasible plan on "
+                            "the degraded platform and no fault transition "
+                            "or arrival ahead"
+                        )
+                        queue.dropped.append(req)
+
+        if chaos:
+            assert stats is not None
+            if degraded_since is not None:
+                stats.degraded_s += t - degraded_since
+            stats.final_rung = LADDER[rung_idx].name
+            # Leave the engine as we found it: callers may reuse it for a
+            # fault-free run afterwards.
+            if applied_hw is not base_hw:
+                self.engine.retarget(self.base_platform)
+            self.engine.set_degradation(None)
+            self.oracle.invalidate()
 
         return ServingResult(
             engine=getattr(self.engine, "name", type(self.engine).__name__),
@@ -249,4 +555,6 @@ class ServingSimulator:
             steps=steps,
             queue_depth=depth,
             makespan_s=t,
+            fault_stats=stats,
+            fault_schedule=self.faults if chaos else None,
         )

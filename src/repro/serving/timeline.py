@@ -10,6 +10,12 @@ Format the decode-schedule exporter emits) with three rows:
 * a ``queue`` counter series sampling waiting/running depth after each
   step, rendered by Perfetto as a stacked area chart.
 
+Chaos runs add a ``faults`` row — injected fault windows, aborted-step
+and backoff slices, replan/rung-transition/shed instants — so the causal
+chain (fault window -> aborts -> backoff -> replan -> rung change) reads
+left to right in the viewer.  Fault-free runs emit exactly the original
+three rows.
+
 Open the file in chrome://tracing or https://ui.perfetto.dev.
 """
 
@@ -54,4 +60,24 @@ def export_request_timeline(
                                 reason=req.drop_reason.value)
     for t, waiting, running in result.queue_depth:
         builder.add_counter("queue", t, waiting=waiting, running=running)
+    if result.fault_schedule is not None:
+        for f in result.fault_schedule.faults:
+            builder.add_slice(
+                f"fault {f.kind.value}", "faults", f.start_s, f.duration_s,
+                severity=f.severity,
+            )
+    if result.fault_stats is not None:
+        stats = result.fault_stats
+        for s0, s1, kind, batch in stats.aborts:
+            builder.add_slice(f"abort {kind}", "faults", s0, s1 - s0, batch=batch)
+        for s0, s1, attempt in stats.backoffs:
+            builder.add_slice(f"backoff #{attempt}", "faults", s0, s1 - s0)
+        for t, cause, drift in stats.replans:
+            builder.add_instant(f"replan ({cause})", "faults", t, drift=drift)
+        for t, from_rung, to_rung, reason in stats.transitions:
+            builder.add_instant(
+                f"rung {from_rung}->{to_rung}", "faults", t, reason=reason
+            )
+        for t, rid in stats.sheds:
+            builder.add_instant(f"shed r{rid}", "faults", t)
     return builder
