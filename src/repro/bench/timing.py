@@ -27,6 +27,8 @@ import statistics
 import time
 from typing import Any, Callable
 
+from repro.obs.registry import Histogram
+
 SCHEMA_VERSION = 1
 
 #: Pre-optimization medians (seconds) of each target, measured at the
@@ -52,17 +54,25 @@ def time_callable(
     repeats: int,
     warmup: int = 1,
 ) -> dict[str, Any]:
-    """Median/best wall time of ``fn`` over ``repeats`` calls."""
+    """Median/best wall time of ``fn`` over ``repeats`` calls.
+
+    Samples accumulate in an :class:`~repro.obs.registry.Histogram`
+    (the registry's raw-sample series type); the median stays
+    ``statistics.median`` — interpolating, unlike the histogram's
+    nearest-rank percentiles — so ``BASELINES`` comparisons keep their
+    original semantics.
+    """
     for _ in range(warmup):
         fn()
-    times: list[float] = []
+    hist = Histogram(name="wall_s")
     for _ in range(repeats):
         t0 = time.perf_counter()
         fn()
-        times.append(time.perf_counter() - t0)
+        hist.observe(time.perf_counter() - t0)
     return {
-        "median_s": statistics.median(times),
-        "best_s": min(times),
+        "median_s": statistics.median(hist.values),
+        "best_s": min(hist.values),
+        "mean_s": hist.mean,
         "repeats": repeats,
     }
 

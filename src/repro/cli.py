@@ -11,6 +11,22 @@ trace             export a Chrome trace of a decode schedule
 serve-sim         request-level serving simulation, write BENCH_serving.json
 chaos             fault-injection serving runs, write BENCH_chaos.json
 bench-timing      time the planner/cost-model hot path, write BENCH_timing.json
+audit             model-vs-runtime drift audit, write BENCH_audit.json
+
+Exit codes
+----------
+Failures propagate as typed errors and map to distinct statuses (they
+used to be swallowed into prints + generic codes, so scripts could not
+tell a bad flag from an infeasible workload):
+
+* 0 — success
+* 1 — command ran but its own gate failed (chaos accounting, audit drift)
+* 2 — argparse usage error
+* 3 — :class:`~repro.errors.ConfigError` (bad/unknown configuration)
+* 4 — planner infeasibility (:class:`~repro.errors.PolicyError`,
+  :class:`~repro.errors.MemoryCapacityError`)
+* 5 — :class:`~repro.errors.ScheduleError` (malformed schedule)
+* 6 — any other :class:`~repro.errors.ReproError`
 """
 
 from __future__ import annotations
@@ -19,6 +35,18 @@ import argparse
 import sys
 
 from repro.bench.tables import format_table
+from repro.errors import (
+    ConfigError,
+    MemoryCapacityError,
+    PolicyError,
+    ReproError,
+    ScheduleError,
+)
+
+EXIT_CONFIG = 3
+EXIT_INFEASIBLE = 4
+EXIT_SCHEDULE = 5
+EXIT_REPRO = 6
 
 
 def _add_workload_args(parser: argparse.ArgumentParser) -> None:
@@ -189,8 +217,7 @@ def cmd_serve_sim(args) -> int:
         )
     else:  # replay
         if not args.trace_file:
-            print("serve-sim: --arrival replay requires --trace-file", flush=True)
-            return 2
+            raise ConfigError("serve-sim: --arrival replay requires --trace-file")
         trace = load_trace(args.trace_file)
 
     config = ServingConfig(
@@ -231,9 +258,24 @@ def cmd_serve_sim(args) -> int:
         json.dump(payload, fh, indent=2)
         fh.write("\n")
     print(f"written to {args.output}")
+    if args.metrics_out:
+        from repro.serving import metrics_registry
+
+        doc = {
+            name: metrics_registry(results[name]).to_dict() for name in engines
+        }
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"metrics registry written to {args.metrics_out}")
     if args.chrome_trace:
         name = engines[0] if len(engines) == 1 else "lm-offload"
         builder = export_request_timeline(results[name])
+        from repro.serving import metrics_registry
+
+        metrics_registry(results[name]).export_chrome(
+            builder, ts_s=results[name].makespan_s
+        )
         builder.save(args.chrome_trace)
         print(
             f"request timeline ({name}, {builder.num_slices} steps) "
@@ -337,9 +379,53 @@ def cmd_bench_timing(args) -> int:
     return 0
 
 
+def cmd_audit(args) -> int:
+    from repro.obs.audit import (
+        DEFAULT_E2E_TOLERANCE,
+        DEFAULT_TOLERANCE,
+        audit_rows,
+        write_bench_audit,
+    )
+
+    payload = write_bench_audit(
+        path=args.output,
+        tolerance=(
+            args.tolerance if args.tolerance is not None else DEFAULT_TOLERANCE
+        ),
+        e2e_tolerance=(
+            args.e2e_tolerance
+            if args.e2e_tolerance is not None
+            else DEFAULT_E2E_TOLERANCE
+        ),
+        quick=args.quick,
+    )
+    mode = "quick" if payload["quick"] else "full"
+    print(format_table(audit_rows(payload), f"drift audit ({mode})"))
+    summary = payload["summary"]
+    print(
+        f"cases: {summary['num_cases']}   worst: {summary['worst_case']} "
+        f"(rel_err={summary['max_rel_err']:.4g})   "
+        f"tolerance: {payload['tolerance']:g}"
+    )
+    print(f"written to {args.output}")
+    if not summary["ok"]:
+        over = summary["over_tolerance"] + summary["e2e_over_tolerance"]
+        print(
+            f"DRIFT: {len(over)} case(s) over tolerance: {', '.join(over)}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="LM-Offload reproduction CLI"
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="enable profiling hooks; print the scope/cache report to "
+        "stderr when the command finishes (goes before the subcommand)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -416,6 +502,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--chrome-trace", help="also export the request timeline here")
     p.add_argument(
+        "--metrics-out",
+        help="write the typed metrics-registry JSON (per engine) here",
+    )
+    p.add_argument(
         "--quick", action="store_true", help="short trace (CI smoke)"
     )
     p.add_argument("--output", default="BENCH_serving.json")
@@ -472,12 +562,53 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", default="BENCH_timing.json")
     p.set_defaults(func=cmd_bench_timing)
 
+    p = sub.add_parser(
+        "audit",
+        help="model-vs-runtime drift audit (Eq. 1/2 vs the event simulator)",
+    )
+    p.add_argument(
+        "--tolerance", type=float, default=None,
+        help="max allowed steady-state relative error (default 0.10)",
+    )
+    p.add_argument(
+        "--e2e-tolerance", type=float, default=None,
+        help="max allowed whole-generation relative error (default 0.15)",
+    )
+    p.add_argument(
+        "--quick", action="store_true",
+        help="smoke subset only, skip whole-generation replays (CI)",
+    )
+    p.add_argument("--output", default="BENCH_audit.json")
+    p.set_defaults(func=cmd_audit)
+
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        if args.profile:
+            import json as _json
+
+            from repro.obs.profiling import profiling_enabled
+
+            with profiling_enabled() as profiler:
+                code = args.func(args)
+            print(_json.dumps(profiler.report(), indent=2), file=sys.stderr)
+            return code
+        return args.func(args)
+    except ConfigError as exc:
+        print(f"repro: config error: {exc}", file=sys.stderr)
+        return EXIT_CONFIG
+    except (PolicyError, MemoryCapacityError) as exc:
+        print(f"repro: infeasible: {exc}", file=sys.stderr)
+        return EXIT_INFEASIBLE
+    except ScheduleError as exc:
+        print(f"repro: schedule error: {exc}", file=sys.stderr)
+        return EXIT_SCHEDULE
+    except ReproError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return EXIT_REPRO
 
 
 if __name__ == "__main__":

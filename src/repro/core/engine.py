@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 
 from repro.core.config import EngineConfig
 from repro.core.report import InferenceReport
+from repro.obs.profiling import PROFILER, span
 from repro.hardware.platform import Platform
 from repro.offload.planner import PolicyPlanner
 from repro.offload.policy import OffloadPolicy
@@ -172,18 +173,25 @@ class LMOffloadEngine:
         candidate set so the known-good point survives any LP drift under
         the controlled threading.
         """
-        base_ctx = self.default_context()
-        mem_cache: dict = {}
-        policy, _ = self._planner(base_ctx, mem_cache).search(workload)
-        if not self.config.parallelism_control:
-            return policy, base_ctx, None
-        plan = self.plan_parallelism(workload, policy)
-        search_ctx = CpuExecutionContext.from_plan(self.topology, self.contention, plan)
-        search_ctx.io_staging_threads = {}
-        policy, _ = self._planner(search_ctx, mem_cache).search(workload, seed=policy)
-        plan = self.plan_parallelism(workload, policy)
-        ctx = CpuExecutionContext.from_plan(self.topology, self.contention, plan)
-        return policy, ctx, plan
+        with span("engine.plan"):
+            base_ctx = self.default_context()
+            mem_cache: dict = {}
+            with span("engine.plan.pass1"):
+                policy, _ = self._planner(base_ctx, mem_cache).search(workload)
+            if not self.config.parallelism_control:
+                return policy, base_ctx, None
+            plan = self.plan_parallelism(workload, policy)
+            search_ctx = CpuExecutionContext.from_plan(
+                self.topology, self.contention, plan
+            )
+            search_ctx.io_staging_threads = {}
+            with span("engine.plan.pass2"):
+                policy, _ = self._planner(search_ctx, mem_cache).search(
+                    workload, seed=policy
+                )
+            plan = self.plan_parallelism(workload, policy)
+            ctx = CpuExecutionContext.from_plan(self.topology, self.contention, plan)
+            return policy, ctx, plan
 
     def plan_cached(
         self, workload: Workload
@@ -197,6 +205,8 @@ class LMOffloadEngine:
         already make a repeat search cheap; this makes it free.
         """
         hit = self._plan_memo.get(workload)
+        if PROFILER.enabled:
+            PROFILER.cache("engine.plan_memo", hit=hit is not None)
         if hit is None:
             hit = self._plan_memo[workload] = self.plan(workload)
         return hit

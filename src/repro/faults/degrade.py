@@ -104,6 +104,29 @@ class FaultStats:
             return 0.0
         return min(1.0, self.degraded_s / makespan_s)
 
+    def fill_registry(self, reg, makespan_s: float) -> None:
+        """Record this run's fault bookkeeping into a metrics registry.
+
+        ``reg`` is a :class:`~repro.obs.registry.MetricsRegistry`
+        (duck-typed; faults stays import-light).  Series land under the
+        ``faults.`` prefix so they compose with the serving series in one
+        registry.
+        """
+        reg.counter("faults.aborted_steps").inc(len(self.aborts))
+        reg.counter("faults.backoffs").inc(len(self.backoffs))
+        reg.counter("faults.replans").inc(len(self.replans))
+        for _, cause, _ in self.replans:
+            reg.counter(f"faults.replans_by_cause.{cause}").inc()
+        reg.counter("faults.rung_transitions").inc(len(self.transitions))
+        reg.counter("faults.shed_requests").inc(len(self.sheds))
+        for start, end, _ in self.backoffs:
+            reg.histogram("faults.backoff_s").observe(end - start)
+        reg.gauge("faults.lost_s").set(self.lost_s)
+        reg.gauge("faults.availability").set(self.availability(makespan_s))
+        reg.gauge("faults.degraded_time_fraction").set(
+            self.degraded_fraction(makespan_s)
+        )
+
     def to_dict(self, makespan_s: float) -> dict:
         return {
             "schedule": self.schedule_name,

@@ -1,0 +1,53 @@
+"""Unified observability: metrics registry, profiling hooks, drift audit.
+
+Three parts, one contract — *recording must never change the thing being
+recorded*:
+
+* :mod:`repro.obs.registry` — typed ``Counter``/``Gauge``/``Histogram``
+  series with deterministic serialization (JSON and Chrome-trace counter
+  rows), replacing the ad-hoc dict accumulators that used to live in the
+  serving metrics, the bench harnesses and the fault bookkeeping;
+* :mod:`repro.obs.profiling` — ``span()`` scopes, call counts and cache
+  hit rates instrumented through the planner, executor, serving loop and
+  parallelism controller, zero-overhead when disabled (the default);
+* :mod:`repro.obs.audit` — the model-vs-runtime drift audit behind
+  ``python -m repro audit``: Eq. 1/2 closed forms vs the discrete-event
+  executor on identical task costs, across a config grid, with a
+  tolerance gate every later PR must keep green.
+
+``repro.obs.registry`` and ``repro.obs.profiling`` are stdlib-only so any
+layer can import them without cycles; the audit imports the model and
+runtime lazily at run time.
+"""
+
+from repro.obs.profiling import (
+    CacheStats,
+    Profiler,
+    PROFILER,
+    Scope,
+    ScopeStats,
+    profiling_enabled,
+    span,
+)
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    exact_nearest_rank,
+)
+
+__all__ = [
+    "CacheStats",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "PROFILER",
+    "Profiler",
+    "Scope",
+    "ScopeStats",
+    "exact_nearest_rank",
+    "profiling_enabled",
+    "span",
+]

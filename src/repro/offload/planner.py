@@ -27,6 +27,7 @@ import numpy as np
 from scipy.optimize import linprog
 
 from repro.errors import PolicyError
+from repro.obs.profiling import PROFILER, span
 from repro.offload.policy import OffloadPolicy
 from repro.perfmodel.latency import CostModel, CpuExecutionContext
 from repro.perfmodel.notation import HardwareParams, Workload
@@ -114,6 +115,8 @@ class MemoryPrescreen:
         """Peak GPU bytes — mirrors ``CostModel.gpu_bytes_required``."""
         key = (*self._key, "gpu", wg, cg, hg)
         cached = self.cache.get(key)
+        if PROFILER.enabled:
+            PROFILER.cache("planner.prescreen", hit=cached is not None)
         if cached is not None:
             return cached
         _, resident = self.weight_bytes_per_layer(wg)
@@ -139,6 +142,8 @@ class MemoryPrescreen:
         """Peak host bytes — mirrors ``CostModel.cpu_bytes_required``."""
         key = (*self._key, "cpu", wg, cg, hg, wd)
         cached = self.cache.get(key)
+        if PROFILER.enabled:
+            PROFILER.cache("planner.prescreen", hit=cached is not None)
         if cached is not None:
             return cached
         offloaded, _ = self.weight_bytes_per_layer(wg)
@@ -464,6 +469,12 @@ class PolicyPlanner:
         result) as an extra candidate for its own discrete configuration;
         it never removes candidates, so the search space only grows.
         """
+        with span("planner.search"):
+            return self._search(workload, seed)
+
+    def _search(
+        self, workload: Workload, seed: OffloadPolicy | None = None
+    ) -> tuple[OffloadPolicy, float]:
         best: tuple[float, OffloadPolicy] | None = None
         for attn_cpu in self._attention_menu():
             for wq, kq in self._quant_menu():

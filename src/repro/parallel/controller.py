@@ -22,6 +22,7 @@ import heapq
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigError, ScheduleError
+from repro.obs.profiling import span
 from repro.parallel.bundling import bundle_operators
 from repro.parallel.profiles import ProfileTable
 from repro.parallel.speedup import ContentionModel, ParallelismSetting
@@ -181,6 +182,15 @@ class ParallelismController:
         max_intra: int | None = None,
     ) -> ParallelismPlan:
         """Run Algorithm 3 and return the best thread assignment found."""
+        with span("parallel.controller.plan"):
+            return self._plan(graph, io_wire_seconds, max_intra)
+
+    def _plan(
+        self,
+        graph: OpGraph,
+        io_wire_seconds: dict[str, float] | None = None,
+        max_intra: int | None = None,
+    ) -> ParallelismPlan:
         wire = {t: 0.0 for t in IO_TASKS}
         if io_wire_seconds:
             wire.update(io_wire_seconds)

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import ScheduleError
+from repro.obs.profiling import span
 from repro.runtime.events import EventSim
 from repro.runtime.streams import StreamSet
 from repro.runtime.tasks import TASK_RESOURCE, TaskCosts, TaskKind
@@ -69,6 +70,10 @@ class OverlappedExecutor:
         token's timing; the sim clock persists across calls so consecutive
         tokens pipeline naturally.
         """
+        with span("executor.run_token"):
+            return self._run_token(costs, start_at)
+
+    def _run_token(self, costs: TaskCosts, start_at: float = 0.0) -> LayerTiming:
         sim = self.streams.sim
         busy_before = {
             name: sim.resource(name).busy_time for name in ("h2d", "d2h", "compute")

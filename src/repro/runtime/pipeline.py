@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from repro.errors import ScheduleError
+from repro.obs.profiling import span
 from repro.runtime.executor import OverlappedExecutor
 from repro.runtime.streams import StreamSet
 from repro.runtime.tasks import TaskCosts
@@ -66,6 +67,15 @@ class DecodeLoop:
         """
         if gen_len <= 0:
             raise ScheduleError("gen_len must be positive")
+        with span("pipeline.decode_loop"):
+            return self._run(prefill_costs, decode_costs, gen_len)
+
+    def _run(
+        self,
+        prefill_costs: TaskCosts,
+        decode_costs: Callable[[int], TaskCosts] | Sequence[TaskCosts],
+        gen_len: int,
+    ) -> GenerationTrace:
         executor = OverlappedExecutor(
             num_layers=self.num_layers,
             num_gpu_batches=self.num_gpu_batches,

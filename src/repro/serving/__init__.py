@@ -31,7 +31,12 @@ from repro.serving.arrivals import (
     trace_from_json,
 )
 from repro.serving.costing import StepCostOracle
-from repro.serving.metrics import compute_metrics, metrics_row, nearest_rank
+from repro.serving.metrics import (
+    compute_metrics,
+    metrics_registry,
+    metrics_row,
+    nearest_rank,
+)
 from repro.serving.policies import (
     FCFSPolicy,
     PriorityPolicy,
@@ -60,6 +65,7 @@ __all__ = [
     "trace_from_json",
     "StepCostOracle",
     "compute_metrics",
+    "metrics_registry",
     "metrics_row",
     "nearest_rank",
     "FCFSPolicy",

@@ -28,6 +28,7 @@ from typing import Any
 
 from repro.errors import MemoryCapacityError, PolicyError, ServingError
 from repro.models.config import ModelConfig
+from repro.obs.profiling import PROFILER
 from repro.offload.planner import MemoryPrescreen
 from repro.perfmodel.latency import CostModel
 from repro.perfmodel.notation import Workload
@@ -87,6 +88,8 @@ class StepCostOracle:
         """
         if n_seqs <= 0:
             raise ServingError("n_seqs must be positive")
+        if PROFILER.enabled:
+            PROFILER.cache("oracle.plan_cache", hit=n_seqs in self._plans)
         if n_seqs not in self._plans:
             try:
                 policy, ctx, _ = self.engine.plan_cached(self._plan_workload(n_seqs))
@@ -157,6 +160,8 @@ class StepCostOracle:
         ctx_b = self._bucket_ctx(ctx_len)
         key = ("decode", n_seqs, ctx_b)
         hit = self._step_cache.get(key)
+        if PROFILER.enabled:
+            PROFILER.cache("oracle.step_cache", hit=hit is not None)
         if hit is not None:
             return hit
         planned = self.planned(n_seqs)
@@ -180,6 +185,8 @@ class StepCostOracle:
         ctx_b = self._bucket_ctx(prompt_len)
         key = ("prefill", n_seqs, ctx_b)
         hit = self._step_cache.get(key)
+        if PROFILER.enabled:
+            PROFILER.cache("oracle.step_cache", hit=hit is not None)
         if hit is not None:
             return hit
         planned = self.planned(n_seqs)

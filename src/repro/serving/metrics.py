@@ -25,24 +25,28 @@ from __future__ import annotations
 
 from typing import Any
 
+from repro.obs.registry import Histogram, MetricsRegistry, exact_nearest_rank
 from repro.serving.simulator import ServingResult
 
-PERCENTILES = (50, 95, 99)
+PERCENTILES = (50, 95, 99, 99.9)
 
 
 def nearest_rank(values: list[float], pct: float) -> float:
-    """Nearest-rank percentile (deterministic, no interpolation)."""
-    if not values:
-        return 0.0
-    ordered = sorted(values)
-    rank = max(1, -(-len(ordered) * pct // 100))  # ceil without floats
-    return ordered[int(rank) - 1]
+    """Nearest-rank percentile (deterministic, no interpolation).
+
+    Delegates to :func:`repro.obs.registry.exact_nearest_rank`: the rank
+    ``ceil(n * pct / 100)`` is computed over rationals, so float
+    percentiles like 99.9 are exact.  (The old inline
+    ``-(-n * pct // 100)`` trick ran the ceiling in float arithmetic;
+    when ``n * pct / 100`` is mathematically an integer but the float
+    product lands epsilon above it, the rank comes out one too high —
+    e.g. p64.4 of 250 samples picked rank 162 instead of 161.)
+    """
+    return exact_nearest_rank(values, pct)
 
 
 def _summary(values: list[float]) -> dict[str, float]:
-    out = {f"p{p}": nearest_rank(values, p) for p in PERCENTILES}
-    out["mean"] = sum(values) / len(values) if values else 0.0
-    return out
+    return Histogram(name="latency", values=list(values)).summary(PERCENTILES)
 
 
 def compute_metrics(result: ServingResult) -> dict[str, Any]:
@@ -117,6 +121,44 @@ def compute_metrics(result: ServingResult) -> dict[str, Any]:
         faults["slo_attainment_under_chaos"] = doc["slo"]["attainment"]
         doc["faults"] = faults
     return doc
+
+
+def metrics_registry(result: ServingResult) -> MetricsRegistry:
+    """Typed series for one run: the export surface for JSON + trace rows.
+
+    The document from :func:`compute_metrics` is the human-facing summary;
+    this registry is the machine-facing one — every tally a Counter, every
+    sampled quantity a Histogram/Gauge, serialized deterministically and
+    renderable as Chrome-trace counter rows via
+    :meth:`~repro.obs.registry.MetricsRegistry.export_chrome`.
+    """
+    reg = MetricsRegistry(namespace="serving")
+    reg.counter("requests.total").inc(len(result.requests))
+    reg.counter("requests.finished").inc(len(result.finished))
+    reg.counter("requests.dropped").inc(len(result.dropped))
+    for r in result.requests:
+        if r.preemptions:
+            reg.counter("requests.preemptions").inc(r.preemptions)
+    for r in result.dropped:
+        assert r.drop_reason is not None
+        reg.counter(f"drops.{r.drop_reason.value}").inc()
+    for r in result.finished:
+        for name, value in (
+            ("ttft_s", r.ttft_s), ("tpot_s", r.tpot_s), ("e2e_s", r.e2e_s)
+        ):
+            if value is not None:
+                reg.histogram(f"latency.{name}").observe(value)
+    for step in result.steps:
+        reg.counter(f"steps.{step.kind}").inc()
+        reg.histogram(f"step_duration_s.{step.kind}").observe(step.duration_s)
+        reg.gauge("batch").set(step.batch)
+    for _, waiting, running in result.queue_depth:
+        reg.gauge("queue.waiting").set(waiting)
+        reg.gauge("queue.in_system").set(waiting + running)
+    reg.gauge("makespan_s").set(result.makespan_s)
+    if result.fault_stats is not None:
+        result.fault_stats.fill_registry(reg, result.makespan_s)
+    return reg
 
 
 def metrics_row(metrics: dict[str, Any]) -> dict[str, Any]:

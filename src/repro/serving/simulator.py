@@ -46,6 +46,7 @@ from typing import Any
 from repro.errors import ConfigError, RetryExhaustedError
 from repro.faults import LADDER, FaultSchedule, FaultStats, RetryPolicy, relative_drift
 from repro.models.config import ModelConfig
+from repro.obs.profiling import PROFILER, span
 from repro.perfmodel.notation import HardwareParams
 from repro.serving.arrivals import RequestTrace
 from repro.serving.costing import StepCostOracle
@@ -267,6 +268,10 @@ class ServingSimulator:
     # -- the loop ----------------------------------------------------------
 
     def run(self) -> ServingResult:
+        with span("serving.run"):
+            return self._run()
+
+    def _run(self) -> ServingResult:
         cfg = self.config
         chaos = self._chaos
         pending = [
@@ -476,6 +481,8 @@ class ServingSimulator:
                         )
                     )
                     depth.append((t, len(queue), len(running)))
+                    if PROFILER.enabled:
+                        PROFILER.count("serving.steps.prefill")
 
             if running:
                 max_ctx = max(r.context_len for r in running)
@@ -504,6 +511,8 @@ class ServingSimulator:
                         )
                     )
                     depth.append((t, len(queue), len(running)))
+                    if PROFILER.enabled:
+                        PROFILER.count("serving.steps.decode")
 
             if chaos and not admitted and not running and queue.waiting:
                 # Stalled: backpressure (or blanket infeasibility) with no

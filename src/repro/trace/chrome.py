@@ -16,33 +16,40 @@ from repro.runtime.events import EventSim
 from repro.runtime.streams import StreamSet
 from repro.runtime.tasks import TASK_RESOURCE, TaskCosts, TaskKind
 
+#: Resource rows the repo's exporters use, in their canonical display
+#: order.  Row numbering starts from this order, then falls back to
+#: alphabetical for anything unlisted, so a trace's tid layout is a
+#: function of *which* resources appear — never of which one happened to
+#: log first.
+CANONICAL_RESOURCES = (
+    "h2d",
+    "d2h",
+    "compute",
+    "gpu",
+    "requests",
+    "faults",
+    "metrics",
+    "counters",
+)
+
 
 @dataclass
 class ChromeTraceBuilder:
     """Accumulates trace slices and serialises them.
 
     Resources map to ``tid`` rows under a single ``pid``; slice name is
-    the task label.
+    the task label.  Events carry their resource *name* until
+    serialization, when tids are materialized from the deterministic
+    resource ordering (:meth:`resource_tids`) — first-touch order used to
+    leak into the numbering, so two traces of the same run could disagree
+    just because their exporters emitted rows in a different order.
+    Counter events ("C") carry an explicit ``tid`` too; some viewers
+    misgroup counters that omit it.
     """
 
     process_name: str = "lm-offload-sim"
-    _events: list[dict] = field(default_factory=list)
-    _tids: dict[str, int] = field(default_factory=dict)
-
-    def _tid(self, resource: str) -> int:
-        if resource not in self._tids:
-            tid = len(self._tids)
-            self._tids[resource] = tid
-            self._events.append(
-                {
-                    "name": "thread_name",
-                    "ph": "M",
-                    "pid": 0,
-                    "tid": tid,
-                    "args": {"name": resource},
-                }
-            )
-        return self._tids[resource]
+    #: (resource, event-without-tid) in emission order.
+    _events: list[tuple[str, dict]] = field(default_factory=list)
 
     def add_slice(
         self,
@@ -56,51 +63,88 @@ class ChromeTraceBuilder:
         if duration_s < 0:
             raise ScheduleError("duration must be non-negative")
         self._events.append(
-            {
-                "name": name,
-                "ph": "X",
-                "ts": start_s * 1e6,
-                "dur": duration_s * 1e6,
-                "pid": 0,
-                "tid": self._tid(resource),
-                "args": args,
-            }
+            (
+                resource,
+                {
+                    "name": name,
+                    "ph": "X",
+                    "ts": start_s * 1e6,
+                    "dur": duration_s * 1e6,
+                    "pid": 0,
+                    "args": args,
+                },
+            )
         )
 
     def add_instant(self, name: str, resource: str, ts_s: float, **args) -> None:
         """Record an instant event ("i") — lifecycle markers like request
         arrival/finish that have a time but no duration."""
         self._events.append(
-            {
-                "name": name,
-                "ph": "i",
-                "s": "t",  # thread-scoped marker
-                "ts": ts_s * 1e6,
-                "pid": 0,
-                "tid": self._tid(resource),
-                "args": args,
-            }
+            (
+                resource,
+                {
+                    "name": name,
+                    "ph": "i",
+                    "s": "t",  # thread-scoped marker
+                    "ts": ts_s * 1e6,
+                    "pid": 0,
+                    "args": args,
+                },
+            )
         )
 
-    def add_counter(self, name: str, ts_s: float, **series: float) -> None:
+    def add_counter(
+        self, name: str, ts_s: float, resource: str = "counters", **series: float
+    ) -> None:
         """Record a counter sample ("C") — e.g. queue depth over time."""
         self._events.append(
-            {
-                "name": name,
-                "ph": "C",
-                "ts": ts_s * 1e6,
-                "pid": 0,
-                "args": dict(series),
-            }
+            (
+                resource,
+                {
+                    "name": name,
+                    "ph": "C",
+                    "ts": ts_s * 1e6,
+                    "pid": 0,
+                    "args": dict(series),
+                },
+            )
         )
 
     @property
     def num_slices(self) -> int:
-        return sum(1 for e in self._events if e.get("ph") == "X")
+        return sum(1 for _, e in self._events if e.get("ph") == "X")
+
+    def resource_tids(self) -> dict[str, int]:
+        """Deterministic resource -> tid map for the resources present:
+        canonical rows first (in :data:`CANONICAL_RESOURCES` order), any
+        others after, alphabetically."""
+        present = {res for res, _ in self._events}
+        ordered = [r for r in CANONICAL_RESOURCES if r in present]
+        ordered.extend(sorted(present.difference(CANONICAL_RESOURCES)))
+        return {res: tid for tid, res in enumerate(ordered)}
+
+    def build_events(self) -> list[dict]:
+        """Final event list: all thread_name metadata up front (tid
+        order), then the recorded events in emission order with their
+        materialized tids."""
+        tids = self.resource_tids()
+        events: list[dict] = [
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": tid,
+                "args": {"name": res},
+            }
+            for res, tid in sorted(tids.items(), key=lambda kv: kv[1])
+        ]
+        for res, event in self._events:
+            events.append({**event, "tid": tids[res]})
+        return events
 
     def to_json(self, indent: int | None = None) -> str:
         doc = {
-            "traceEvents": self._events,
+            "traceEvents": self.build_events(),
             "displayTimeUnit": "ms",
             "otherData": {"process": self.process_name},
         }

@@ -2,7 +2,7 @@ import json
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import EXIT_CONFIG, build_parser, main
 
 
 def run_cli(capsys, *argv) -> str:
@@ -109,8 +109,24 @@ def test_serve_sim_quick_single_engine(capsys, tmp_path):
     assert any(e.get("ph") == "X" for e in tl["traceEvents"])
 
 
-def test_serve_sim_replay_requires_trace_file():
-    assert main(["serve-sim", "--arrival", "replay"]) == 2
+def test_serve_sim_metrics_out_writes_registry_document(capsys, tmp_path):
+    metrics = tmp_path / "metrics.json"
+    run_cli(
+        capsys, "serve-sim", "--model", "opt-1.3b", "--engine", "zero-inference",
+        "--quick", "--seed", "0",
+        "--output", str(tmp_path / "b.json"), "--metrics-out", str(metrics),
+    )
+    doc = json.loads(metrics.read_text())
+    series = doc["zero-inference"]["series"]
+    assert series["requests.finished"]["type"] == "counter"
+    assert series["latency.ttft_s"]["type"] == "histogram"
+    assert series["latency.ttft_s"]["count"] > 0
+    assert "p50" in series["latency.ttft_s"]
+
+
+def test_serve_sim_replay_requires_trace_file(capsys):
+    assert main(["serve-sim", "--arrival", "replay"]) == EXIT_CONFIG
+    assert "config error" in capsys.readouterr().err
 
 
 def test_serve_sim_replay_round_trip(capsys, tmp_path):

@@ -119,6 +119,53 @@ def test_resource_tid_mapping_is_stable():
     assert {e["tid"] for e in instants} == {tids["requests"]}
 
 
+def test_tid_assignment_is_independent_of_emission_order():
+    """tids are a function of which resources appear, not who logged
+    first: canonical ordering puts h2d < d2h < compute regardless of the
+    order slices were added."""
+
+    def build(order):
+        b = ChromeTraceBuilder()
+        for res in order:
+            b.add_slice(f"task {res}", res, 0.0, 0.001)
+        return b
+
+    forward = build(["h2d", "d2h", "compute"])
+    backward = build(["compute", "d2h", "h2d"])
+    assert forward.resource_tids() == backward.resource_tids()
+    assert forward.resource_tids() == {"h2d": 0, "d2h": 1, "compute": 2}
+    # Unlisted resources number after the canonical rows, alphabetically.
+    b = build(["zebra", "compute", "alpha"])
+    assert b.resource_tids() == {"compute": 0, "alpha": 1, "zebra": 2}
+
+
+def test_counter_events_carry_explicit_tid():
+    b = ChromeTraceBuilder()
+    b.add_counter("queue", 0.0, waiting=1)  # default "counters" resource
+    b.add_counter("reqs", 0.0, resource="metrics", value=3.0)
+    events = json.loads(b.to_json())["traceEvents"]
+    tids = {e["args"]["name"]: e["tid"] for e in events if e["ph"] == "M"}
+    counters = {e["name"]: e for e in events if e["ph"] == "C"}
+    assert counters["queue"]["tid"] == tids["counters"]
+    assert counters["reqs"]["tid"] == tids["metrics"]
+
+
+def test_metadata_rows_precede_all_events():
+    b = ChromeTraceBuilder()
+    b.add_slice("a", "compute", 0.0, 0.001)
+    b.add_counter("c", 0.0)
+    b.add_slice("b", "h2d", 0.0, 0.001)
+    events = json.loads(b.to_json())["traceEvents"]
+    phases = [e["ph"] for e in events]
+    n_meta = phases.count("M")
+    assert n_meta == 3  # compute, h2d, counters
+    assert all(ph == "M" for ph in phases[:n_meta])
+    assert all(ph != "M" for ph in phases[n_meta:])
+    # Metadata rows come out in tid order.
+    meta_tids = [e["tid"] for e in events[:n_meta]]
+    assert meta_tids == sorted(meta_tids)
+
+
 def test_request_timeline_export_is_valid_and_monotonic():
     from repro.serving import export_request_timeline
 
