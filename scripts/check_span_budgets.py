@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""CI gate: per-span wall-time budgets for the profiled audit smoke.
+
+Reads the profiler report that ``python -m repro --profile <cmd>`` prints
+to stderr (``{"scopes": {name: {calls, total_s, ...}}, ...}``) and fails
+when any budgeted span's *total* wall time exceeds its allowance, or when
+a required span is missing entirely (a silent rename would otherwise turn
+the budget into a no-op).
+
+Budgets are deliberately generous — an order of magnitude above the
+container this was calibrated on — so the gate catches accidental
+quadratic blowups and dropped memoization, not CI-runner jitter.
+
+Usage::
+
+    python -m repro --profile audit --faults --quick 2> report.json
+    python scripts/check_span_budgets.py report.json [--budget NAME=SECONDS]
+
+``--budget`` entries extend or override the defaults; exit codes follow
+the repo CLI convention (0 ok, 1 gate failed, 2 usage).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: span name -> max allowed total_s across the whole profiled run.  The
+#: quick faulted audit measures ~0.006 s / ~0.045 s / ~0.05 s for these
+#: on the reference container; budgets sit ~100x above that.
+DEFAULT_BUDGETS: dict[str, float] = {
+    "obs.audit.sweep": 30.0,
+    "obs.audit.faulted_sweep": 60.0,
+    "executor.run_token": 60.0,
+}
+
+#: Spans that must appear in the report at all — the profiled command is
+#: expected to exercise them, so absence means the instrumentation (or
+#: the sweep itself) silently vanished.
+REQUIRED_SPANS = ("obs.audit.sweep", "obs.audit.faulted_sweep")
+
+
+def check(report: dict, budgets: dict[str, float]) -> list[str]:
+    """Return a list of human-readable violations (empty = pass)."""
+    scopes = report.get("scopes")
+    if not isinstance(scopes, dict):
+        return ["report has no 'scopes' section — was --profile passed?"]
+    problems = []
+    for name in REQUIRED_SPANS:
+        if name not in scopes:
+            problems.append(f"required span {name!r} missing from report")
+    for name, budget in sorted(budgets.items()):
+        scope = scopes.get(name)
+        if scope is None:
+            continue  # only REQUIRED_SPANS must exist
+        total = float(scope["total_s"])
+        if total > budget:
+            problems.append(
+                f"span {name!r} spent {total:.3f}s, budget {budget:.3f}s "
+                f"({scope['calls']} calls, max {float(scope['max_s']):.4f}s)"
+            )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("report", help="profiler report JSON (or '-' for stdin)")
+    parser.add_argument(
+        "--budget", action="append", default=[], metavar="NAME=SECONDS",
+        help="extend/override a span budget (repeatable)",
+    )
+    args = parser.parse_args(argv)
+
+    budgets = dict(DEFAULT_BUDGETS)
+    for entry in args.budget:
+        name, sep, value = entry.partition("=")
+        try:
+            if not sep:
+                raise ValueError
+            budgets[name] = float(value)
+        except ValueError:
+            print(f"budgets: bad --budget {entry!r} (want NAME=SECONDS)",
+                  file=sys.stderr)
+            return 2
+
+    try:
+        if args.report == "-":
+            report = json.load(sys.stdin)
+        else:
+            with open(args.report, encoding="utf-8") as fh:
+                report = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"budgets: cannot read report: {exc}", file=sys.stderr)
+        return 2
+
+    problems = check(report, budgets)
+    if problems:
+        for problem in problems:
+            print(f"budgets: FAIL: {problem}", file=sys.stderr)
+        return 1
+    scopes = report["scopes"]
+    for name in sorted(budgets):
+        if name in scopes:
+            print(f"budgets: ok: {name} {float(scopes[name]['total_s']):.3f}s "
+                  f"<= {budgets[name]:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,7 +29,8 @@ from __future__ import annotations
 import json
 from typing import Any
 
-from repro.faults import SCENARIOS, make_scenario
+from repro.faults import make_scenario
+from repro.faults.scenarios import SCENARIO_SWEEP_ORDER
 from repro.models import get_model
 from repro.serving.arrivals import RequestTrace, default_trace
 from repro.serving.metrics import compute_metrics
@@ -40,16 +41,10 @@ from repro.bench.serving import ENGINES, _make_engine
 
 SCHEMA_VERSION = 1
 
-#: Scenario order is fixed (not dict order) so the JSON layout is stable.
-SCENARIO_ORDER = (
-    "pcie-degrade",
-    "flaky-pcie",
-    "cpu-throttle",
-    "mem-crunch",
-    "gpu-brownout",
-    "multi-fault",
-)
-assert set(SCENARIO_ORDER) == set(SCENARIOS)
+#: Scenario order is fixed (not dict order) so the JSON layout is stable;
+#: shared with the faulted drift audit so both artifacts sweep the same
+#: scenarios in the same order.
+SCENARIO_ORDER = SCENARIO_SWEEP_ORDER
 
 
 def _accounting(result: ServingResult) -> dict[str, Any]:

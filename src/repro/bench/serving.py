@@ -54,14 +54,24 @@ def simulate_engine(
     trace: RequestTrace,
     scheduler: str = "fcfs",
     config: ServingConfig | None = None,
+    collect_timeseries: bool = False,
 ) -> ServingResult:
-    """One engine, one trace -> the full simulation result."""
+    """One engine, one trace -> the full simulation result.
+
+    ``collect_timeseries`` injects a registry so the loop samples its
+    per-step curves (queue depth, step price, batch, rung); off by
+    default because the curves are export-only — the run itself is
+    byte-identical either way.
+    """
+    from repro.obs.registry import MetricsRegistry
+
     sim = ServingSimulator(
         engine=_make_engine(engine_name),
         model=get_model(model_name),
         trace=trace,
         policy=make_policy(scheduler),
         config=config,
+        metrics=MetricsRegistry(namespace="serving") if collect_timeseries else None,
     )
     return sim.run()
 
@@ -74,11 +84,14 @@ def run_serving_comparison(
     engines: tuple[str, ...] = ENGINES,
     quick: bool = False,
     seed: int = 0,
+    collect_timeseries: bool = False,
 ) -> tuple[dict[str, Any], dict[str, ServingResult]]:
     """Run every engine on the same trace.
 
     Returns ``(payload, results)``: the JSON-ready comparison document and
     the raw per-engine :class:`ServingResult` (for timeline export).
+    ``collect_timeseries`` is forwarded to :func:`simulate_engine`; the
+    payload never contains the curves, so it is byte-identical either way.
     """
     trace = trace or default_trace(quick=quick, seed=seed)
     config = config or ServingConfig()
@@ -86,7 +99,8 @@ def run_serving_comparison(
     metrics: dict[str, Any] = {}
     for name in engines:
         results[name] = simulate_engine(
-            name, model_name, trace, scheduler=scheduler, config=config
+            name, model_name, trace, scheduler=scheduler, config=config,
+            collect_timeseries=collect_timeseries,
         )
         metrics[name] = compute_metrics(results[name])
 

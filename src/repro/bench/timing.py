@@ -27,7 +27,7 @@ import statistics
 import time
 from typing import Any, Callable
 
-from repro.obs.registry import Histogram
+from repro.obs.registry import Histogram, MetricsRegistry
 
 SCHEMA_VERSION = 1
 
@@ -53,6 +53,8 @@ def time_callable(
     fn: Callable[[], Any],
     repeats: int,
     warmup: int = 1,
+    registry: MetricsRegistry | None = None,
+    label: str = "",
 ) -> dict[str, Any]:
     """Median/best wall time of ``fn`` over ``repeats`` calls.
 
@@ -61,14 +63,28 @@ def time_callable(
     ``statistics.median`` — interpolating, unlike the histogram's
     nearest-rank percentiles — so ``BASELINES`` comparisons keep their
     original semantics.
+
+    When a ``registry`` and ``label`` are given, the samples also land in
+    it: the distribution under ``timing.<label>.wall_s`` and, so warm-up
+    drift is visible, a ``timing.<label>.trajectory`` time series keyed by
+    repeat index (the harness's virtual clock — nothing else about the
+    run is time-shaped).  The registry's *structure* is deterministic;
+    the recorded values are wall clock by definition.
     """
     for _ in range(warmup):
         fn()
     hist = Histogram(name="wall_s")
-    for _ in range(repeats):
+    trajectory = None
+    if registry is not None and label:
+        hist = registry.histogram(f"timing.{label}.wall_s")
+        trajectory = registry.timeseries(f"timing.{label}.trajectory")
+    for i in range(repeats):
         t0 = time.perf_counter()
         fn()
-        hist.observe(time.perf_counter() - t0)
+        elapsed = time.perf_counter() - t0
+        hist.observe(elapsed)
+        if trajectory is not None:
+            trajectory.sample(float(i), elapsed)
     return {
         "median_s": statistics.median(hist.values),
         "best_s": min(hist.values),
@@ -84,11 +100,15 @@ def _with_baseline(name: str, result: dict[str, Any]) -> dict[str, Any]:
     return result
 
 
-def run_bench_timing(quick: bool = False) -> dict[str, Any]:
+def run_bench_timing(
+    quick: bool = False, registry: MetricsRegistry | None = None
+) -> dict[str, Any]:
     """Time the hot entry points; returns the ``BENCH_timing.json`` payload.
 
     ``quick`` trims repeat counts and skips the tab3 sweep — the CI smoke
-    configuration (verifies the harness runs, not the speedup).
+    configuration (verifies the harness runs, not the speedup).  Passing a
+    ``registry`` additionally records every raw sample (see
+    :func:`time_callable`) for ``--metrics-out``.
     """
     from repro.core import LMOffloadEngine
     from repro.hardware import single_a100
@@ -104,7 +124,11 @@ def run_bench_timing(quick: bool = False) -> dict[str, Any]:
         LMOffloadEngine(single_a100()).plan(workload)
 
     results["plan"] = _with_baseline(
-        "plan", time_callable(fresh_plan, repeats=2 if quick else 5)
+        "plan",
+        time_callable(
+            fresh_plan, repeats=2 if quick else 5,
+            registry=registry, label="plan",
+        ),
     )
 
     engine = LMOffloadEngine(single_a100())
@@ -117,14 +141,21 @@ def run_bench_timing(quick: bool = False) -> dict[str, Any]:
 
     results["breakdown"] = _with_baseline(
         "breakdown",
-        time_callable(construct_and_breakdown, repeats=20 if quick else 100),
+        time_callable(
+            construct_and_breakdown, repeats=20 if quick else 100,
+            registry=registry, label="breakdown",
+        ),
     )
 
     if not quick:
         from repro.bench.experiments import run_tab3_overall
 
         results["tab3"] = _with_baseline(
-            "tab3", time_callable(run_tab3_overall, repeats=1, warmup=0)
+            "tab3",
+            time_callable(
+                run_tab3_overall, repeats=1, warmup=0,
+                registry=registry, label="tab3",
+            ),
         )
 
     return {
@@ -136,9 +167,13 @@ def run_bench_timing(quick: bool = False) -> dict[str, Any]:
     }
 
 
-def write_bench_timing(path: str = "BENCH_timing.json", quick: bool = False) -> dict[str, Any]:
+def write_bench_timing(
+    path: str = "BENCH_timing.json",
+    quick: bool = False,
+    registry: MetricsRegistry | None = None,
+) -> dict[str, Any]:
     """Run the harness and write the payload to ``path``."""
-    payload = run_bench_timing(quick=quick)
+    payload = run_bench_timing(quick=quick, registry=registry)
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2)
         fh.write("\n")

@@ -236,6 +236,7 @@ def cmd_serve_sim(args) -> int:
         config=config,
         engines=engines,
         seed=args.seed,
+        collect_timeseries=bool(args.metrics_out or args.chrome_trace),
     )
     print(f"trace:     {trace.describe()}")
     print(f"scheduler: {args.scheduler}   "
@@ -345,6 +346,20 @@ def cmd_chaos(args) -> int:
         json.dump(payload, fh, indent=2)
         fh.write("\n")
     print(f"written to {args.output}")
+    if args.metrics_out:
+        from repro.serving import metrics_registry
+
+        doc = {
+            engine: {
+                scenario: metrics_registry(results[(engine, scenario)]).to_dict()
+                for scenario in scenarios
+            }
+            for engine in engines
+        }
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"metrics registry written to {args.metrics_out}")
     if args.chrome_trace:
         engine = engines[0] if len(engines) == 1 else "lm-offload"
         scenario = scenarios[0]
@@ -360,7 +375,14 @@ def cmd_chaos(args) -> int:
 def cmd_bench_timing(args) -> int:
     from repro.bench.timing import write_bench_timing
 
-    payload = write_bench_timing(path=args.output, quick=args.quick)
+    registry = None
+    if args.metrics_out:
+        from repro.obs.registry import MetricsRegistry
+
+        registry = MetricsRegistry(namespace="bench-timing")
+    payload = write_bench_timing(
+        path=args.output, quick=args.quick, registry=registry
+    )
     rows = []
     for name, r in payload["targets"].items():
         rows.append(
@@ -376,14 +398,19 @@ def cmd_bench_timing(args) -> int:
     mode = "quick" if payload["quick"] else "full"
     print(format_table(rows, f"bench-timing ({mode}) — {payload['workload']}"))
     print(f"written to {args.output}")
+    if registry is not None:
+        registry.save(args.metrics_out)
+        print(f"metrics registry written to {args.metrics_out}")
     return 0
 
 
 def cmd_audit(args) -> int:
     from repro.obs.audit import (
         DEFAULT_E2E_TOLERANCE,
+        DEFAULT_FAULT_TOLERANCE,
         DEFAULT_TOLERANCE,
         audit_rows,
+        faulted_rows,
         write_bench_audit,
     )
 
@@ -398,6 +425,12 @@ def cmd_audit(args) -> int:
             else DEFAULT_E2E_TOLERANCE
         ),
         quick=args.quick,
+        faults=args.faults,
+        fault_tolerance=(
+            args.fault_tolerance
+            if args.fault_tolerance is not None
+            else DEFAULT_FAULT_TOLERANCE
+        ),
     )
     mode = "quick" if payload["quick"] else "full"
     print(format_table(audit_rows(payload), f"drift audit ({mode})"))
@@ -407,15 +440,33 @@ def cmd_audit(args) -> int:
         f"(rel_err={summary['max_rel_err']:.4g})   "
         f"tolerance: {payload['tolerance']:g}"
     )
+    if args.faults:
+        print(format_table(faulted_rows(payload), f"faulted drift audit ({mode})"))
+        fs = payload["faulted"]["summary"]
+        print(
+            f"faulted: {fs['num_cases_priced']} case-windows   "
+            f"worst: {fs['worst']} (rel_err={fs['max_rel_err']:.4g})   "
+            f"dominant fault: {fs['dominant_fault']}   "
+            f"tolerance: {payload['fault_tolerance']:g}"
+        )
     print(f"written to {args.output}")
+    code = 0
     if not summary["ok"]:
         over = summary["over_tolerance"] + summary["e2e_over_tolerance"]
         print(
             f"DRIFT: {len(over)} case(s) over tolerance: {', '.join(over)}",
             file=sys.stderr,
         )
-        return 1
-    return 0
+        code = 1
+    if args.faults and not payload["faulted"]["summary"]["ok"]:
+        fault_over = payload["faulted"]["summary"]["over_tolerance"]
+        print(
+            f"FAULTED DRIFT: {len(fault_over)} case-window(s) over tolerance: "
+            f"{', '.join(fault_over)}",
+            file=sys.stderr,
+        )
+        code = 1
+    return code
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -547,6 +598,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--chrome-trace", help="export one run's request timeline here")
     p.add_argument(
+        "--metrics-out",
+        help="write the typed metrics-registry JSON (per engine x scenario) here",
+    )
+    p.add_argument(
         "--quick", action="store_true", help="short trace (CI smoke)"
     )
     p.add_argument("--output", default="BENCH_chaos.json")
@@ -558,6 +613,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--quick", action="store_true",
         help="fewer repeats, skip the tab3 sweep (CI smoke)",
+    )
+    p.add_argument(
+        "--metrics-out",
+        help="write the raw timing samples as metrics-registry JSON here",
     )
     p.add_argument("--output", default="BENCH_timing.json")
     p.set_defaults(func=cmd_bench_timing)
@@ -577,6 +636,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--quick", action="store_true",
         help="smoke subset only, skip whole-generation replays (CI)",
+    )
+    p.add_argument(
+        "--faults", action="store_true",
+        help="also re-price the grid under every bundled chaos scenario's "
+        "degraded platforms (adds the 'faulted' payload section)",
+    )
+    p.add_argument(
+        "--fault-tolerance", type=float, default=None,
+        help="max allowed faulted steady-state relative error (default 0.10)",
     )
     p.add_argument("--output", default="BENCH_audit.json")
     p.set_defaults(func=cmd_audit)

@@ -157,6 +157,44 @@ def degraded_platform(
     )
 
 
+def capability_windows(
+    schedule: FaultSchedule,
+) -> list[tuple[float, float, tuple[FaultSpec, ...]]]:
+    """Maximal ``[start, end)`` segments with a constant, non-empty set of
+    active capability faults.
+
+    The schedule is piecewise-constant between its change points, so each
+    returned window is one degraded-platform regime: evaluating the
+    overlay anywhere inside it yields the same platform.  Windows are
+    sorted by start time; transient-only segments (no capability fault)
+    are omitted — they do not change the platform the performance model
+    prices.  The faulted drift audit sweeps these windows.
+    """
+    points = schedule.change_points()
+    out: list[tuple[float, float, tuple[FaultSpec, ...]]] = []
+    for a, b in zip(points, points[1:]):
+        mid = (a + b) / 2.0
+        active = tuple(schedule.capability_faults(mid))
+        if active:
+            out.append((a, b, active))
+    return out
+
+
+def fault_signature(active: Iterable[FaultSpec]) -> tuple:
+    """Order-independent identity of a set of capability faults.
+
+    Two windows with equal signatures degrade the platform identically
+    (same kinds, severities and targets), so a sweep can price one
+    representative and tally the occurrences.
+    """
+    return tuple(
+        sorted(
+            (f.kind.value, f.severity, f.device or "", tuple(f.link or ()))
+            for f in active
+        )
+    )
+
+
 #: HardwareParams fields the drift metric compares (rates and capacities
 #: the performance model actually consumes).
 _DRIFT_FIELDS = (

@@ -135,6 +135,20 @@ SCENARIOS: dict[str, Callable[[float, int], FaultSchedule]] = {
     "multi-fault": multi_fault,
 }
 
+#: Canonical sweep order for consumers that iterate every bundled
+#: scenario (the chaos bench and the faulted drift audit).  An explicit
+#: tuple — not dict iteration order — so serialized artifacts stay
+#: byte-stable even if the registry above is reorganized.
+SCENARIO_SWEEP_ORDER: tuple[str, ...] = (
+    "pcie-degrade",
+    "flaky-pcie",
+    "cpu-throttle",
+    "mem-crunch",
+    "gpu-brownout",
+    "multi-fault",
+)
+assert set(SCENARIO_SWEEP_ORDER) == set(SCENARIOS)
+
 
 def make_scenario(name: str, horizon_s: float, seed: int = 0) -> FaultSchedule:
     """Build a bundled scenario by name."""

@@ -3,10 +3,13 @@
 Three parts, one contract — *recording must never change the thing being
 recorded*:
 
-* :mod:`repro.obs.registry` — typed ``Counter``/``Gauge``/``Histogram``
-  series with deterministic serialization (JSON and Chrome-trace counter
-  rows), replacing the ad-hoc dict accumulators that used to live in the
-  serving metrics, the bench harnesses and the fault bookkeeping;
+* :mod:`repro.obs.registry` — typed ``Counter``/``Gauge``/``Histogram``/
+  ``TimeSeries`` series with deterministic serialization (JSON and
+  Chrome-trace counter rows), replacing the ad-hoc dict accumulators that
+  used to live in the serving metrics, the bench harnesses and the fault
+  bookkeeping; ``TimeSeries`` holds bounded per-step samples at virtual
+  timestamps so queue depth, step price and the degradation rung are
+  inspectable as curves, not just end-of-run totals;
 * :mod:`repro.obs.profiling` — ``span()`` scopes, call counts and cache
   hit rates instrumented through the planner, executor, serving loop and
   parallelism controller, zero-overhead when disabled (the default);
@@ -34,6 +37,7 @@ from repro.obs.registry import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    TimeSeries,
     exact_nearest_rank,
 )
 
@@ -47,6 +51,7 @@ __all__ = [
     "Profiler",
     "Scope",
     "ScopeStats",
+    "TimeSeries",
     "exact_nearest_rank",
     "profiling_enabled",
     "span",

@@ -45,6 +45,17 @@ DEFAULT_TOLERANCE = 0.10
 #: Whole-generation Eq. 1 vs DecodeLoop: one extra pipeline fill/drain is
 #: amortized over the run, so the bound is looser.
 DEFAULT_E2E_TOLERANCE = 0.15
+#: Faulted steady-state Eq. 2 vs executor: same drift mechanism as the
+#: fault-free gate (fill/drain + H2D serialization granularity), so the
+#: same bound applies — a degraded platform changes which term dominates,
+#: not how the executor schedules it.
+DEFAULT_FAULT_TOLERANCE = 0.10
+#: Virtual horizon the audit builds each ``make_scenario`` bundle over.
+#: Windows sit at fixed fractions of the horizon, so the value is
+#: arbitrary — it only has to be positive and fixed for determinism.
+FAULT_HORIZON_S = 120.0
+#: Seed for the bundled scenarios' stochastic structure (flap timing).
+FAULT_SCENARIO_SEED = 0
 
 
 @dataclass(frozen=True)
@@ -221,28 +232,158 @@ def audit_case(
     return record
 
 
+def _execution_context(platform):
+    """(HardwareParams, CpuExecutionContext) the audit prices a platform
+    with — rebuilt from scratch so a degraded platform re-derives its CPU
+    topology, contention model and thread allocation like the serving
+    watchdog does."""
+    from repro.parallel.speedup import ContentionModel
+    from repro.parallel.topology import CpuTopology
+    from repro.perfmodel.latency import CpuExecutionContext
+    from repro.perfmodel.notation import HardwareParams
+
+    hw = HardwareParams.from_platform(platform)
+    topology = CpuTopology.from_device(platform.cpu)
+    contention = ContentionModel(topology, platform.cache)
+    ctx = CpuExecutionContext.pytorch_default(topology, contention)
+    return hw, ctx
+
+
+def _faulted_sweep(
+    platform,
+    cases: list[AuditCase],
+    registry: MetricsRegistry,
+    fault_tolerance: float,
+) -> dict[str, Any]:
+    """Price the audit grid under every bundled chaos scenario.
+
+    For each scenario the schedule is piecewise-constant, so the sweep
+    enumerates its :func:`~repro.faults.overlay.capability_windows`,
+    dedupes them by :func:`~repro.faults.overlay.fault_signature` (eight
+    identical link flaps price once, tallied as occurrences), applies the
+    overlay at the window midpoint, rebuilds the execution context from
+    the degraded platform, and re-runs the steady-state Eq. 2 vs executor
+    comparison for every case.  Whole-generation replays are skipped —
+    the fault gate is about whether degradation changes *how well the
+    model tracks the executor*, and steady state is where that shows.
+    """
+    from repro.faults import make_scenario
+    from repro.faults.overlay import capability_windows, fault_signature
+    from repro.faults.scenarios import SCENARIO_SWEEP_ORDER
+
+    scenarios: list[dict[str, Any]] = []
+    all_errs: list[float] = []
+    kind_worst: dict[str, float] = {}
+    over: list[str] = []
+    worst_ref: tuple[float, str] | None = None
+
+    for scenario_name in SCENARIO_SWEEP_ORDER:
+        schedule = make_scenario(
+            scenario_name, FAULT_HORIZON_S, seed=FAULT_SCENARIO_SEED
+        )
+        raw_windows = capability_windows(schedule)
+        windows: list[dict[str, Any]] = []
+        seen: dict[tuple, int] = {}
+        for start, end, active in raw_windows:
+            sig = fault_signature(active)
+            if sig in seen:
+                windows[seen[sig]]["window"]["occurrences"] += 1
+                continue
+            seen[sig] = len(windows)
+            effective = platform.with_faults(schedule, (start + end) / 2.0)
+            hw_f, ctx_f = _execution_context(effective)
+            case_records = [
+                audit_case(case, hw_f, ctx_f, full=False) for case in cases
+            ]
+            errs = {r["name"]: r["steady_state"]["rel_err"] for r in case_records}
+            worst = max(errs, key=lambda k: (errs[k], k))
+            kinds = sorted({f.kind.value for f in active})
+            windows.append({
+                "window": {
+                    "start_s": start,
+                    "end_s": end,
+                    "occurrences": 1,
+                    "kinds": kinds,
+                },
+                "cases": case_records,
+                "worst_case": worst,
+                "max_rel_err": errs[worst],
+                "mean_rel_err": sum(errs.values()) / len(errs),
+            })
+            registry.counter("audit.faulted.windows").inc()
+            for name, err in errs.items():
+                all_errs.append(err)
+                registry.histogram("audit.faulted.rel_err").observe(err)
+                if err > fault_tolerance:
+                    over.append(f"{scenario_name}/{len(windows) - 1}/{name}")
+            for kind in kinds:
+                kind_worst[kind] = max(kind_worst.get(kind, 0.0), errs[worst])
+
+        worst_idx = max(
+            range(len(windows)), key=lambda i: (windows[i]["max_rel_err"], -i)
+        )
+        scenario_max = windows[worst_idx]["max_rel_err"]
+        ref = f"{scenario_name}/{worst_idx}/{windows[worst_idx]['worst_case']}"
+        if worst_ref is None or (scenario_max, ref) > worst_ref:
+            worst_ref = (scenario_max, ref)
+        scenarios.append({
+            "scenario": scenario_name,
+            "schedule": schedule.to_dict(),
+            "num_windows": len(raw_windows),
+            "num_unique_windows": len(windows),
+            "windows": windows,
+            "worst_window": worst_idx,
+            "max_rel_err": scenario_max,
+        })
+        registry.counter("audit.faulted.scenarios").inc()
+
+    #: The fault kind whose windows drift the model most.  Compound
+    #: windows credit every kind present — "dominates" means "was active
+    #: when the worst drift happened", not a causal attribution.
+    dominant = max(kind_worst, key=lambda k: (kind_worst[k], k))
+    assert worst_ref is not None
+    return {
+        "horizon_s": FAULT_HORIZON_S,
+        "seed": FAULT_SCENARIO_SEED,
+        "tolerance": fault_tolerance,
+        "scenarios": scenarios,
+        "summary": {
+            "num_scenarios": len(scenarios),
+            "num_windows": sum(s["num_unique_windows"] for s in scenarios),
+            "num_cases_priced": len(all_errs),
+            "worst": worst_ref[1],
+            "max_rel_err": worst_ref[0],
+            "mean_rel_err": sum(all_errs) / len(all_errs),
+            "dominant_fault": dominant,
+            "by_fault_kind": {k: kind_worst[k] for k in sorted(kind_worst)},
+            "over_tolerance": sorted(over),
+            "ok": not over,
+        },
+    }
+
+
 def run_audit(
     tolerance: float = DEFAULT_TOLERANCE,
     e2e_tolerance: float = DEFAULT_E2E_TOLERANCE,
     quick: bool = False,
+    faults: bool = False,
+    fault_tolerance: float = DEFAULT_FAULT_TOLERANCE,
 ) -> dict[str, Any]:
     """Sweep the grid; returns the ``BENCH_audit.json`` payload.
 
     ``quick`` restricts the sweep to the smoke subset and skips the (slow)
     whole-generation DecodeLoop replays; the steady-state check — the one
     the tolerance gate applies to — still runs for every included case.
+    ``faults`` adds the faulted sweep: the same grid re-priced under each
+    bundled chaos scenario's degraded platforms, gated by its own
+    ``fault_tolerance``.  The zero-fault payload is byte-identical whether
+    or not the flag exists — the ``faulted`` section only appears when
+    requested.
     """
     from repro.hardware import single_a100
-    from repro.parallel.speedup import ContentionModel
-    from repro.parallel.topology import CpuTopology
-    from repro.perfmodel.latency import CpuExecutionContext
-    from repro.perfmodel.notation import HardwareParams
 
     platform = single_a100()
-    hw = HardwareParams.from_platform(platform)
-    topology = CpuTopology.from_device(platform.cpu)
-    contention = ContentionModel(topology, platform.cache)
-    ctx = CpuExecutionContext.pytorch_default(topology, contention)
+    hw, ctx = _execution_context(platform)
 
     cases = [c for c in AUDIT_GRID if (c.quick or not quick)]
     registry = MetricsRegistry(namespace="audit")
@@ -262,6 +403,11 @@ def run_audit(
                 registry.histogram("audit.full_generation.rel_err").observe(
                     record["full_generation"]["rel_err"]
                 )
+
+    faulted: dict[str, Any] | None = None
+    if faults:
+        with span("obs.audit.faulted_sweep"):
+            faulted = _faulted_sweep(platform, cases, registry, fault_tolerance)
 
     steady_errs = {r["name"]: r["steady_state"]["rel_err"] for r in records}
     worst = max(steady_errs, key=lambda k: (steady_errs[k], k))
@@ -289,6 +435,9 @@ def run_audit(
         },
         "metrics": registry.to_dict(),
     }
+    if faulted is not None:
+        payload["fault_tolerance"] = fault_tolerance
+        payload["faulted"] = faulted
     return payload
 
 
@@ -320,4 +469,23 @@ def audit_rows(payload: dict[str, Any]) -> list[dict[str, Any]]:
         fg = record.get("full_generation")
         row["e2e_err"] = round(fg["rel_err"], 4) if fg else "-"
         rows.append(row)
+    return rows
+
+
+def faulted_rows(payload: dict[str, Any]) -> list[dict[str, Any]]:
+    """Flatten the ``faulted`` section into CLI table rows (one per
+    unique degraded-platform window)."""
+    rows: list[dict[str, Any]] = []
+    for scenario in payload["faulted"]["scenarios"]:
+        for idx, win in enumerate(scenario["windows"]):
+            w = win["window"]
+            rows.append({
+                "scenario": scenario["scenario"],
+                "window": f"{w['start_s']:.1f}-{w['end_s']:.1f}s",
+                "x": w["occurrences"],
+                "faults": "+".join(w["kinds"]),
+                "worst_case": win["worst_case"],
+                "max_rel_err": round(win["max_rel_err"], 4),
+                "mean_rel_err": round(win["mean_rel_err"], 4),
+            })
     return rows

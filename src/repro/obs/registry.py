@@ -1,9 +1,9 @@
-"""Typed metrics registry: named Counter / Gauge / Histogram series.
+"""Typed metrics registry: named Counter / Gauge / Histogram / TimeSeries.
 
 One registry instance is the single place a layer's counters live, in
 place of the ad-hoc ``dict`` accumulators that used to be scattered over
 the serving metrics, the bench harnesses and the fault bookkeeping.
-Three series types cover everything the repo records:
+Four series types cover everything the repo records:
 
 * :class:`Counter`  — monotone event tallies (steps run, drops by reason);
 * :class:`Gauge`    — last-written point-in-time values that also track
@@ -12,7 +12,13 @@ Three series types cover everything the repo records:
   percentiles (latency distributions, per-step durations).  Samples are
   kept raw — no bucketing error — because every producer in this repo is
   a simulator whose sample counts are small and whose serialized output
-  must be bit-stable.
+  must be bit-stable;
+* :class:`TimeSeries` — ``(virtual_timestamp, value)`` samples in a
+  bounded ring buffer, for quantities whose *trajectory* matters (queue
+  depth over the run, per-step price, the active degradation rung) rather
+  than just their end-of-run aggregate.  When the ring overflows, the
+  oldest samples are evicted and counted in ``dropped`` — a run's tail is
+  always retained and nothing ever grows without bound.
 
 Serialization is deterministic by construction: ``to_dict`` orders series
 by name, histograms summarize with the same nearest-rank arithmetic the
@@ -141,6 +147,75 @@ class Histogram:
         return out
 
 
+@dataclass
+class TimeSeries:
+    """Per-step samples at virtual timestamps, in a bounded ring buffer.
+
+    ``sample(t_s, value)`` appends one point; once ``capacity`` points are
+    held, each new sample evicts the oldest (``dropped`` counts the
+    evictions).  Timestamps are virtual-clock seconds from the producer —
+    nothing here reads a wall clock, so serialization is deterministic.
+    """
+
+    name: str
+    help: str = ""
+    capacity: int = 4096
+    dropped: int = 0
+    _points: list[tuple[float, float]] = field(default_factory=list, repr=False)
+    _head: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ValueError(
+                f"timeseries {self.name}: capacity must be positive "
+                f"(got {self.capacity})"
+            )
+
+    def sample(self, t_s: float, value: float) -> None:
+        """Record ``value`` at virtual time ``t_s`` (evicting when full)."""
+        if len(self._points) < self.capacity:
+            self._points.append((t_s, value))
+        else:
+            self._points[self._head] = (t_s, value)
+            self._head = (self._head + 1) % self.capacity
+            self.dropped += 1
+
+    @property
+    def count(self) -> int:
+        """Points currently held (<= capacity)."""
+        return len(self._points)
+
+    @property
+    def total_samples(self) -> int:
+        """Every sample ever recorded, including evicted ones."""
+        return len(self._points) + self.dropped
+
+    def points(self) -> list[tuple[float, float]]:
+        """Retained points in chronological (recording) order."""
+        return self._points[self._head :] + self._points[: self._head]
+
+    def values(self) -> list[float]:
+        return [v for _, v in self.points()]
+
+    def to_dict(self) -> dict:
+        out: dict = {
+            "type": "timeseries",
+            "count": self.count,
+            "capacity": self.capacity,
+            "dropped": self.dropped,
+        }
+        pts = self.points()
+        if pts:
+            vals = [v for _, v in pts]
+            out["first_t_s"] = pts[0][0]
+            out["last_t_s"] = pts[-1][0]
+            out["min"] = min(vals)
+            out["max"] = max(vals)
+            out["last"] = vals[-1]
+            out["points"] = [[t, v] for t, v in pts]
+        return out
+
+
 class MetricsRegistry:
     """Get-or-create home for named series, serialized deterministically.
 
@@ -152,7 +227,7 @@ class MetricsRegistry:
 
     def __init__(self, namespace: str = "") -> None:
         self.namespace = namespace
-        self._series: dict[str, Counter | Gauge | Histogram] = {}
+        self._series: dict[str, Counter | Gauge | Histogram | TimeSeries] = {}
 
     def _get(self, cls, name: str, help: str):
         series = self._series.get(name)
@@ -173,6 +248,39 @@ class MetricsRegistry:
 
     def histogram(self, name: str, help: str = "") -> Histogram:
         return self._get(Histogram, name, help)
+
+    def timeseries(
+        self, name: str, help: str = "", capacity: int = 4096
+    ) -> TimeSeries:
+        """Get-or-create a :class:`TimeSeries`.  ``capacity`` binds only at
+        creation; later calls return the existing ring unchanged."""
+        series = self._series.get(name)
+        if series is None:
+            series = self._series[name] = TimeSeries(
+                name=name, help=help, capacity=capacity
+            )
+        elif not isinstance(series, TimeSeries):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(series).__name__}, requested TimeSeries"
+            )
+        return series
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Adopt every series of ``other`` (by reference, not copied).
+
+        Lets a producer-local registry (e.g. the serving loop's per-step
+        time series) fold into the run-level export registry.  A name
+        collision is a programming error — two owners for one series —
+        and raises rather than silently overwriting either side.
+        """
+        for name, series in other._series.items():
+            if name in self._series:
+                raise ValueError(
+                    f"metric {name!r} exists in both registries; refusing to "
+                    "merge overlapping series"
+                )
+            self._series[name] = series
 
     def __len__(self) -> int:
         return len(self._series)
@@ -205,16 +313,19 @@ class MetricsRegistry:
 
         Counters and gauges become one counter sample each; histograms
         emit their count and mean (the distribution itself belongs in the
-        JSON export, not a trace row).  ``builder`` is a
+        JSON export, not a trace row); time series emit one counter row
+        *per retained point at that point's own timestamp*, so the viewer
+        draws the actual curve over virtual time.  ``builder`` is a
         :class:`~repro.trace.chrome.ChromeTraceBuilder` (duck-typed to
         avoid an import cycle: trace imports nothing from here).
         """
         for name in sorted(self._series):
             series = self._series[name]
-            if isinstance(series, Counter):
+            if isinstance(series, (Counter, Gauge)):
                 builder.add_counter(name, ts_s, resource=resource, value=series.value)
-            elif isinstance(series, Gauge):
-                builder.add_counter(name, ts_s, resource=resource, value=series.value)
+            elif isinstance(series, TimeSeries):
+                for t, v in series.points():
+                    builder.add_counter(name, t, resource=resource, value=v)
             else:
                 builder.add_counter(
                     name, ts_s, resource=resource,

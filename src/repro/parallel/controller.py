@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import ConfigError, ScheduleError
 from repro.obs.profiling import span
+from repro.obs.registry import MetricsRegistry
 from repro.parallel.bundling import bundle_operators
 from repro.parallel.profiles import ProfileTable
 from repro.parallel.speedup import ContentionModel, ParallelismSetting
@@ -133,6 +134,13 @@ class ParallelismController:
         Minimum free threads (Alg. 3 uses 5, one per I/O task).
     bundle_small_ops:
         Fuse small operators before the concurrency analysis (§1).
+    metrics:
+        Optional time-series sink for the Algorithm 3 search itself: each
+        candidate ``intra`` the sweep evaluates lands one point in
+        ``curve.search.step_s`` / ``curve.search.compute_s`` keyed by the
+        candidate's intra-op width (the search's own virtual axis), so the
+        cost landscape the controller walked is inspectable after the
+        fact.  ``None`` (default) is structurally inert.
     """
 
     topology: CpuTopology
@@ -142,6 +150,7 @@ class ParallelismController:
     staging_bw_per_thread: float = 6e9
     reserve_io_threads: int = 5
     bundle_small_ops: bool = True
+    metrics: MetricsRegistry | None = None
 
     def io_task_seconds(self, task: str, threads: int, wire_seconds: float) -> float:
         """Effective I/O task time: max of wire time and host staging time."""
@@ -219,6 +228,13 @@ class ParallelismController:
             }
             # The six tasks overlap (Eq. 2): the decode step costs the max.
             step = max(compute_s, *io_s.values())
+            if self.metrics is not None:
+                self.metrics.timeseries("curve.search.step_s").sample(
+                    float(intra), step
+                )
+                self.metrics.timeseries("curve.search.compute_s").sample(
+                    float(intra), compute_s
+                )
             # Lexicographic preference: minimise the overlapped step time,
             # then the compute task itself (ties are common when an I/O
             # task is the bottleneck regardless of threading).

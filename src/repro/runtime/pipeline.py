@@ -14,6 +14,7 @@ from typing import Callable, Sequence
 
 from repro.errors import ScheduleError
 from repro.obs.profiling import span
+from repro.obs.registry import MetricsRegistry
 from repro.runtime.executor import OverlappedExecutor
 from repro.runtime.streams import StreamSet
 from repro.runtime.tasks import TaskCosts
@@ -47,10 +48,16 @@ class DecodeLoop:
     ----------
     num_layers, num_gpu_batches:
         Schedule geometry.
+    metrics:
+        Optional time-series sink: each token's marginal time lands in
+        ``curve.token_s`` at the virtual clock it completed (the prefill
+        pass in ``curve.prefill_s`` at its own end).  ``None`` (default)
+        is structurally inert — the trace is identical either way.
     """
 
     num_layers: int
     num_gpu_batches: int
+    metrics: MetricsRegistry | None = None
 
     def run(
         self,
@@ -83,6 +90,10 @@ class DecodeLoop:
         )
         # Prefill: one pass over layers x batches at prefill costs.
         prefill = executor.run_token(prefill_costs, start_at=0.0)
+        if self.metrics is not None:
+            self.metrics.timeseries("curve.prefill_s").sample(
+                prefill.end, prefill.elapsed
+            )
         per_token: list[float] = []
         clock = prefill.end
         for t in range(gen_len - 1):
@@ -90,6 +101,10 @@ class DecodeLoop:
             timing = executor.run_token(costs, start_at=clock)
             per_token.append(timing.end - clock)
             clock = timing.end
+            if self.metrics is not None:
+                self.metrics.timeseries("curve.token_s").sample(
+                    clock, per_token[-1]
+                )
         sim = executor.streams.sim
         busy = {name: sim.resource(name).busy_time for name in ("h2d", "d2h", "compute")}
         return GenerationTrace(

@@ -158,6 +158,11 @@ def metrics_registry(result: ServingResult) -> MetricsRegistry:
     reg.gauge("makespan_s").set(result.makespan_s)
     if result.fault_stats is not None:
         result.fault_stats.fill_registry(reg, result.makespan_s)
+    if result.timeseries is not None:
+        # The loop sampled per-step curves live (``curve.*`` — a disjoint
+        # namespace from the aggregates above); fold them in so one export
+        # carries both the end-of-run summary and the trajectories.
+        reg.merge(result.timeseries)
     return reg
 
 

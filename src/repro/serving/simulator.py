@@ -47,6 +47,7 @@ from repro.errors import ConfigError, RetryExhaustedError
 from repro.faults import LADDER, FaultSchedule, FaultStats, RetryPolicy, relative_drift
 from repro.models.config import ModelConfig
 from repro.obs.profiling import PROFILER, span
+from repro.obs.registry import MetricsRegistry
 from repro.perfmodel.notation import HardwareParams
 from repro.serving.arrivals import RequestTrace
 from repro.serving.costing import StepCostOracle
@@ -168,6 +169,11 @@ class ServingResult:
     #: pre-fault-layer simulator.
     fault_stats: FaultStats | None = None
     fault_schedule: FaultSchedule | None = None
+    #: Per-step time-series curves (queue depth, step price, batch, rung)
+    #: sampled live by the loop — only when a registry was injected via
+    #: ``ServingSimulator(metrics=...)``; ``None`` otherwise, and nothing
+    #: serialized from this result ever includes it implicitly.
+    timeseries: MetricsRegistry | None = None
 
     @property
     def finished(self) -> list[Request]:
@@ -190,6 +196,7 @@ class ServingSimulator:
         config: ServingConfig | None = None,
         faults: FaultSchedule | None = None,
         seed: int = 0,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.engine = engine
         self.model = model
@@ -198,6 +205,11 @@ class ServingSimulator:
         self.config = config or ServingConfig()
         self.faults = faults
         self.seed = seed
+        #: Optional per-step time-series sink.  ``None`` (the default) is
+        #: structurally inert: the loop takes no RNG draw, touches no
+        #: state and branches on nothing because of it, so a run with and
+        #: without sampling is byte-identical (tested).
+        self.metrics = metrics
         #: Chaos mode is engaged only by a non-empty schedule; an empty
         #: one (``zero_schedule()``) runs the exact fault-free code path.
         self._chaos = faults is not None and len(faults.faults) > 0
@@ -303,6 +315,27 @@ class ServingSimulator:
             probe_n = cfg.max_batch
             while probe_n > 1 and self.oracle.planned(probe_n) is None:
                 probe_n //= 2
+
+        reg = self.metrics
+
+        def sample_step() -> None:
+            """One point per curve at each step boundary, timestamped with
+            the clock the loop actually advanced to (aborted steps land
+            after their backoff, like everything else that observes them).
+            No-op without a registry — no RNG draw, no state, no branch
+            the fault-free loop could observe."""
+            if reg is None:
+                return
+            step = steps[-1]
+            reg.timeseries("curve.queue_waiting").sample(t, float(len(queue)))
+            reg.timeseries("curve.in_system").sample(
+                t, float(len(queue) + len(running))
+            )
+            reg.timeseries("curve.step_s").sample(t, step.duration_s)
+            reg.timeseries("curve.batch").sample(t, float(step.batch))
+            reg.timeseries("curve.rung").sample(
+                t, float(rung_idx) if chaos else 0.0
+            )
 
         def finish_token(req: Request, now: float) -> bool:
             """Credit one generated token; True when the request completed."""
@@ -462,6 +495,7 @@ class ServingSimulator:
                         )
                     )
                     depth.append((t, len(queue), len(running)))
+                    sample_step()
                 else:
                     if chaos:
                         consec_aborts = 0
@@ -481,6 +515,7 @@ class ServingSimulator:
                         )
                     )
                     depth.append((t, len(queue), len(running)))
+                    sample_step()
                     if PROFILER.enabled:
                         PROFILER.count("serving.steps.prefill")
 
@@ -498,6 +533,7 @@ class ServingSimulator:
                         )
                     )
                     depth.append((t, len(queue), len(running)))
+                    sample_step()
                 else:
                     if chaos:
                         consec_aborts = 0
@@ -511,6 +547,7 @@ class ServingSimulator:
                         )
                     )
                     depth.append((t, len(queue), len(running)))
+                    sample_step()
                     if PROFILER.enabled:
                         PROFILER.count("serving.steps.decode")
 
@@ -566,4 +603,5 @@ class ServingSimulator:
             makespan_s=t,
             fault_stats=stats,
             fault_schedule=self.faults if chaos else None,
+            timeseries=reg,
         )

@@ -221,3 +221,136 @@ def test_flaky_scenario_varies_with_seed():
 def test_unknown_scenario_is_config_error():
     with pytest.raises(ConfigError, match="unknown chaos scenario"):
         make_scenario("nope", horizon_s=30.0)
+
+
+# -- overlay metamorphic properties ----------------------------------------
+
+
+@pytest.mark.parametrize(
+    "kind",
+    [
+        FaultKind.PCIE_DEGRADE,
+        FaultKind.LINK_FLAP,
+        FaultKind.CPU_THROTTLE,
+        FaultKind.CORE_LOSS,
+        FaultKind.GPU_THROTTLE,
+        FaultKind.HOST_MEM_SHRINK,
+    ],
+)
+def test_zero_magnitude_fault_leaves_platform_byte_identical(
+    a100_platform, kind
+):
+    """severity=0 takes nothing away: every spec and link of the overlay
+    equals the base value for value (only the platform name differs)."""
+    sched = FaultSchedule(
+        name="noop", faults=(FaultSpec(kind, 0.0, 10.0, severity=0.0),)
+    )
+    degraded = a100_platform.with_faults(sched, 5.0)
+    assert degraded.devices == a100_platform.devices
+    assert list(degraded.links) == list(a100_platform.links)
+    assert HardwareParams.from_platform(degraded) == HardwareParams.from_platform(
+        a100_platform
+    )
+
+
+def test_disjoint_fault_windows_compose_like_singletons(a100_platform):
+    """A schedule holding two disjoint windows degrades each instant
+    exactly as the matching single-fault schedule would."""
+    pcie = FaultSpec(FaultKind.PCIE_DEGRADE, 0.0, 10.0, severity=0.5)
+    cpu = FaultSpec(FaultKind.CPU_THROTTLE, 20.0, 10.0, severity=0.4)
+    both = FaultSchedule(name="both", faults=(pcie, cpu))
+    only_pcie = FaultSchedule(name="p", faults=(pcie,))
+    only_cpu = FaultSchedule(name="c", faults=(cpu,))
+    for t, singleton in ((5.0, only_pcie), (25.0, only_cpu)):
+        composed = a100_platform.with_faults(both, t)
+        alone = a100_platform.with_faults(singleton, t)
+        assert composed.devices == alone.devices
+        assert list(composed.links) == list(alone.links)
+    # Between the windows, the overlay steps aside entirely.
+    assert a100_platform.with_faults(both, 15.0) is a100_platform
+
+
+def test_fault_declaration_order_commutes(a100_platform):
+    """Overlapping cross-kind faults compose multiplicatively, so the
+    declaration order in the schedule cannot matter."""
+    specs = (
+        FaultSpec(FaultKind.CPU_THROTTLE, 0.0, 10.0, severity=0.5),
+        FaultSpec(FaultKind.CORE_LOSS, 0.0, 10.0, severity=0.5),
+        FaultSpec(FaultKind.PCIE_DEGRADE, 0.0, 10.0, severity=0.3),
+    )
+    forward = a100_platform.with_faults(
+        FaultSchedule(name="f", faults=specs), 5.0
+    )
+    reverse = a100_platform.with_faults(
+        FaultSchedule(name="r", faults=specs[::-1]), 5.0
+    )
+    assert forward.devices == reverse.devices
+    assert list(forward.links) == list(reverse.links)
+    assert HardwareParams.from_platform(forward) == HardwareParams.from_platform(
+        reverse
+    )
+
+
+def test_overlay_never_mutates_base_and_shares_untouched_objects(
+    a100_platform,
+):
+    """with_faults is an overlay, not an edit: the base keeps its exact
+    spec objects, and sub-objects the fault does not touch are shared by
+    identity with the degraded view."""
+    before_devices = dict(a100_platform.devices)
+    before_links = list(a100_platform.links)
+    sched = FaultSchedule(
+        name="cpu-only",
+        faults=(FaultSpec(FaultKind.CPU_THROTTLE, 0.0, 10.0, severity=0.5),),
+    )
+    degraded = a100_platform.with_faults(sched, 5.0)
+    # Base is untouched, object for object.
+    for name, spec in before_devices.items():
+        assert a100_platform.devices[name] is spec
+    for i, link in enumerate(before_links):
+        assert a100_platform.links[i] is link
+    # The overlay rebuilds only what the fault touches: GPU specs, links
+    # and the cache hierarchy are the very same objects.
+    cpu_name = a100_platform.cpu.name
+    assert degraded.devices[cpu_name] is not a100_platform.devices[cpu_name]
+    for name, spec in degraded.devices.items():
+        if name != cpu_name:
+            assert spec is a100_platform.devices[name]
+    for i, link in enumerate(degraded.links):
+        assert link is a100_platform.links[i]
+    assert degraded.cache is a100_platform.cache
+
+
+def test_capability_windows_enumerate_piecewise_regimes():
+    """multi-fault at horizon 100: pcie [20,60), cpu [40,90), transient
+    [30,70) -> capability segments split at every change point, with the
+    transient-only structure contributing boundaries but no windows."""
+    from repro.faults.overlay import capability_windows
+
+    sched = make_scenario("multi-fault", horizon_s=100.0, seed=0)
+    windows = capability_windows(sched)
+    spans = [(a, b, sorted({f.kind.value for f in active}))
+             for a, b, active in windows]
+    assert spans == [
+        (20.0, 30.0, ["pcie_degrade"]),
+        (30.0, 40.0, ["pcie_degrade"]),
+        (40.0, 60.0, ["cpu_throttle", "pcie_degrade"]),
+        (60.0, 70.0, ["cpu_throttle"]),
+        (70.0, 90.0, ["cpu_throttle"]),
+    ]
+
+
+def test_fault_signature_dedupes_identical_regimes():
+    """flaky-pcie's flaps all carry the same (kind, severity, target), so
+    every capability window collapses to one signature — the faulted
+    audit prices it once and tallies occurrences."""
+    from repro.faults.overlay import capability_windows, fault_signature
+
+    sched = make_scenario("flaky-pcie", horizon_s=100.0, seed=0)
+    windows = capability_windows(sched)
+    assert len(windows) >= 2
+    signatures = {fault_signature(active) for _, _, active in windows}
+    assert len(signatures) == 1
+    # And the signature is order-independent.
+    _, _, active = windows[0]
+    assert fault_signature(active) == fault_signature(tuple(reversed(active)))

@@ -351,3 +351,282 @@ def test_audit_metrics_section_counts_cases():
     assert series["audit.steady_state.rel_err"]["count"] == (
         payload["summary"]["num_cases"]
     )
+
+
+# -- time series ------------------------------------------------------------
+
+
+def test_timeseries_points_chronological_and_summary():
+    reg = MetricsRegistry()
+    ts = reg.timeseries("curve.x")
+    for i in range(5):
+        ts.sample(float(i), float(i) * 2.0)
+    assert reg.timeseries("curve.x") is ts  # get-or-create
+    assert ts.count == ts.total_samples == 5
+    assert ts.points() == [(float(i), float(i) * 2.0) for i in range(5)]
+    doc = ts.to_dict()
+    assert doc["type"] == "timeseries"
+    assert doc["first_t_s"] == 0.0 and doc["last_t_s"] == 4.0
+    assert doc["min"] == 0.0 and doc["max"] == 8.0 and doc["last"] == 8.0
+    assert doc["points"] == [[float(i), float(i) * 2.0] for i in range(5)]
+
+
+def test_timeseries_ring_evicts_oldest_and_counts_drops():
+    reg = MetricsRegistry()
+    ts = reg.timeseries("curve.ring", capacity=4)
+    for i in range(7):
+        ts.sample(float(i), float(i))
+    assert ts.count == 4 and ts.dropped == 3 and ts.total_samples == 7
+    # Chronological order survives the wraparound.
+    assert ts.points() == [(float(i), float(i)) for i in (3, 4, 5, 6)]
+    doc = ts.to_dict()
+    assert doc["dropped"] == 3 and doc["first_t_s"] == 3.0
+    # Capacity binds at creation only; a later different value is ignored.
+    assert reg.timeseries("curve.ring", capacity=999).capacity == 4
+
+
+def test_timeseries_rejects_nonpositive_capacity_and_type_conflicts():
+    reg = MetricsRegistry()
+    with pytest.raises(ValueError):
+        reg.timeseries("bad", capacity=0)
+    reg.counter("c")
+    with pytest.raises(TypeError):
+        reg.timeseries("c")
+    reg.timeseries("t")
+    with pytest.raises(TypeError):
+        reg.histogram("t")
+
+
+def test_timeseries_empty_to_dict_has_no_point_keys():
+    ts = MetricsRegistry().timeseries("curve.empty")
+    assert ts.to_dict() == {
+        "type": "timeseries", "count": 0, "capacity": 4096, "dropped": 0,
+    }
+
+
+def test_registry_merge_adopts_by_reference_and_rejects_collisions():
+    a = MetricsRegistry(namespace="a")
+    b = MetricsRegistry(namespace="b")
+    ts = b.timeseries("curve.q")
+    ts.sample(0.0, 1.0)
+    b.counter("other").inc()
+    a.counter("reqs").inc(2)
+    a.merge(b)
+    assert a.timeseries("curve.q") is ts  # adopted, not copied
+    assert json.loads(a.to_json())["series"].keys() == {
+        "curve.q", "other", "reqs",
+    }
+    c = MetricsRegistry()
+    c.gauge("reqs").set(1.0)
+    with pytest.raises(ValueError):
+        a.merge(c)
+
+
+def test_timeseries_export_chrome_one_row_per_point():
+    from repro.trace import ChromeTraceBuilder
+
+    reg = MetricsRegistry()
+    ts = reg.timeseries("curve.depth")
+    for t, v in ((0.5, 1.0), (1.5, 3.0), (2.5, 2.0)):
+        ts.sample(t, v)
+    b = ChromeTraceBuilder()
+    reg.export_chrome(b)
+    counters = [
+        e for e in json.loads(b.to_json())["traceEvents"] if e["ph"] == "C"
+    ]
+    assert len(counters) == 3
+    assert [(e["ts"], e["args"]["value"]) for e in counters] == [
+        (int(0.5e6), 1.0), (int(1.5e6), 3.0), (int(2.5e6), 2.0),
+    ]
+
+
+# -- per-step curve sampling (structurally inert when off) ------------------
+
+
+def test_serving_timeseries_collection_is_structurally_inert():
+    """The acceptance contract: the serving comparison payload is
+    byte-identical with per-step sampling on and off."""
+    from repro.bench.serving import run_serving_comparison
+
+    docs = {}
+    for collect in (False, True):
+        payload, results = run_serving_comparison(
+            engines=("zero-inference",), quick=True,
+            collect_timeseries=collect,
+        )
+        docs[collect] = json.dumps(payload, sort_keys=True)
+        ts = results["zero-inference"].timeseries
+        assert (ts is not None) is collect
+    assert docs[False] == docs[True]
+
+
+def test_serving_simulator_samples_per_step_curves():
+    from repro.bench.serving import simulate_engine
+    from repro.serving import default_trace
+    from repro.serving.metrics import metrics_registry
+
+    result = simulate_engine(
+        "zero-inference", "opt-1.3b", default_trace(quick=True),
+        collect_timeseries=True,
+    )
+    reg = result.timeseries
+    curves = {
+        name: reg.timeseries(name)
+        for name in (
+            "curve.queue_waiting", "curve.in_system", "curve.step_s",
+            "curve.batch", "curve.rung",
+        )
+    }
+    counts = {name: ts.count for name, ts in curves.items()}
+    assert len(set(counts.values())) == 1  # one sample per loop event, each
+    assert counts["curve.step_s"] == len(result.queue_depth) > 0
+    for ts in curves.values():
+        times = [t for t, _ in ts.points()]
+        assert times == sorted(times)
+    assert all(v == 0.0 for v in curves["curve.rung"].values())  # no chaos
+    assert max(curves["curve.batch"].values()) >= 1.0
+    # The aggregate view folds the curves in alongside the scalar series.
+    merged = metrics_registry(result).to_dict()["series"]
+    assert "curve.step_s" in merged and "queue.waiting" in merged
+
+
+def test_decode_loop_sampling_inert_and_curves_match_trace():
+    from repro.runtime.pipeline import DecodeLoop
+    from repro.runtime.tasks import TaskCosts
+
+    costs = TaskCosts(0.01, 0.002, 0.001, 0.002, 0.001, 0.02)
+    gen_len = 6
+    bare = DecodeLoop(num_layers=3, num_gpu_batches=2).run(
+        costs, lambda t: costs, gen_len
+    )
+    reg = MetricsRegistry()
+    sampled = DecodeLoop(num_layers=3, num_gpu_batches=2, metrics=reg).run(
+        costs, lambda t: costs, gen_len
+    )
+    assert sampled == bare  # structurally inert
+    prefill = reg.timeseries("curve.prefill_s")
+    tokens = reg.timeseries("curve.token_s")
+    assert prefill.count == 1
+    assert prefill.points()[0] == (
+        sampled.prefill_seconds, sampled.prefill_seconds
+    )
+    assert tokens.count == gen_len - 1
+    assert tokens.values() == list(sampled.per_token_seconds)
+    assert sum(tokens.values()) == pytest.approx(sampled.decode_seconds)
+
+
+def test_controller_samples_search_landscape(topo, contention):
+    from repro.parallel import build_default_profiles
+    from repro.parallel.controller import ParallelismController
+    from repro.runtime.graph import build_attention_graph
+
+    kwargs = dict(
+        topology=topo, contention=contention,
+        profiles=build_default_profiles(contention),
+        io_volumes={"load_weight": 30e6, "load_activation": 1e5},
+    )
+    graph = build_attention_graph(4)
+    bare = ParallelismController(**kwargs).plan(graph)
+    reg = MetricsRegistry()
+    plan = ParallelismController(**kwargs, metrics=reg).plan(graph)
+    assert plan == bare  # structurally inert
+    steps = reg.timeseries("curve.search.step_s")
+    compute = reg.timeseries("curve.search.compute_s")
+    assert steps.count == compute.count > 1
+    # The landscape's floor is exactly the chosen plan's step time, at the
+    # chosen intra width.
+    best_t, best_v = min(steps.points(), key=lambda p: (p[1], p[0]))
+    assert best_v == plan.predicted_step_seconds
+    assert best_t == float(plan.compute.intra_op)
+
+
+def test_bench_timing_registry_records_distribution_and_trajectory():
+    from repro.bench.timing import run_bench_timing
+
+    reg = MetricsRegistry(namespace="bench-timing")
+    payload = run_bench_timing(quick=True, registry=reg)
+    for label, repeats in (("plan", 2), ("breakdown", 20)):
+        hist = reg.histogram(f"timing.{label}.wall_s")
+        traj = reg.timeseries(f"timing.{label}.trajectory")
+        assert hist.count == traj.count == repeats
+        assert [t for t, _ in traj.points()] == [float(i) for i in range(repeats)]
+        assert traj.values() == hist.values  # same samples, both views
+        assert payload["targets"][label]["best_s"] == min(hist.values)
+    assert "timing.tab3.wall_s" not in json.loads(reg.to_json())["series"]
+
+
+# -- fault-aware drift audit ------------------------------------------------
+
+
+def test_faulted_audit_deterministic_and_within_tolerance():
+    from repro.faults.scenarios import SCENARIO_SWEEP_ORDER
+    from repro.obs.audit import run_audit
+
+    p1 = run_audit(quick=True, faults=True)
+    p2 = run_audit(quick=True, faults=True)
+    assert json.dumps(p1, sort_keys=True) == json.dumps(p2, sort_keys=True)
+    faulted = p1["faulted"]
+    assert faulted["tolerance"] == p1["fault_tolerance"]
+    summary = faulted["summary"]
+    assert summary["ok"] and not summary["over_tolerance"]
+    assert summary["num_scenarios"] == len(SCENARIO_SWEEP_ORDER)
+    assert tuple(s["scenario"] for s in faulted["scenarios"]) == (
+        SCENARIO_SWEEP_ORDER
+    )
+    assert summary["max_rel_err"] <= p1["fault_tolerance"]
+    assert summary["dominant_fault"] in summary["by_fault_kind"]
+
+
+def test_faulted_audit_window_accounting():
+    from repro.obs.audit import faulted_rows, run_audit
+
+    payload = run_audit(quick=True, faults=True)
+    faulted = payload["faulted"]
+    case_names = [c["name"] for c in payload["cases"]]
+    for scenario in faulted["scenarios"]:
+        windows = scenario["windows"]
+        assert scenario["num_unique_windows"] == len(windows)
+        assert scenario["num_windows"] == sum(
+            w["window"]["occurrences"] for w in windows
+        ) >= len(windows)
+        assert 0 <= scenario["worst_window"] < len(windows)
+        for w in windows:
+            assert [c["name"] for c in w["cases"]] == case_names
+            assert w["window"]["start_s"] < w["window"]["end_s"]
+            assert w["window"]["kinds"]
+            assert w["max_rel_err"] == max(
+                c["steady_state"]["rel_err"] for c in w["cases"]
+            )
+    priced = sum(
+        len(w["cases"]) for s in faulted["scenarios"] for w in s["windows"]
+    )
+    assert faulted["summary"]["num_cases_priced"] == priced
+    assert len(faulted_rows(payload)) == sum(
+        s["num_unique_windows"] for s in faulted["scenarios"]
+    )
+    # The sweep's own telemetry lands in the shared metrics section.
+    series = payload["metrics"]["series"]
+    assert series["audit.faulted.rel_err"]["count"] == priced
+
+
+def test_faulted_audit_gate_fails_on_tiny_tolerance():
+    from repro.obs.audit import run_audit
+
+    payload = run_audit(quick=True, faults=True, fault_tolerance=1e-18)
+    assert payload["summary"]["ok"]  # the base gate is untouched
+    assert not payload["faulted"]["summary"]["ok"]
+    assert payload["faulted"]["summary"]["over_tolerance"]
+
+
+def test_audit_without_faults_stays_clean_of_fault_keys():
+    """Zero-fault byte-identity, schema half: the default audit document
+    carries no fault keys and no ``audit.faulted.*`` series, so the
+    pre-existing artifact contract is untouched."""
+    from repro.obs.audit import run_audit
+
+    payload = run_audit(quick=True)
+    assert "faulted" not in payload and "fault_tolerance" not in payload
+    assert not [
+        name for name in payload["metrics"]["series"]
+        if name.startswith("audit.faulted.")
+    ]

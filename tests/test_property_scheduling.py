@@ -5,10 +5,20 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.baselines import ZeroInferenceEngine
+from repro.hardware import single_a100
+from repro.models import get_model
 from repro.parallel.controller import schedule_makespan
 from repro.runtime.graph import OpGraph, OpNode
 from repro.runtime.tasks import TaskCosts
 from repro.runtime.executor import OverlappedExecutor
+from repro.serving import (
+    ServingConfig,
+    ServingSimulator,
+    make_policy,
+    poisson_trace,
+    replay_trace,
+)
 
 
 @st.composite
@@ -100,3 +110,97 @@ def test_step_time_max_property(values):
     costs = TaskCosts(*values)
     assert costs.step_time() == max(values)
     assert costs.serial_time() == pytest.approx(sum(values))
+
+
+# -- scheduler metamorphic properties (seeded traces, no hypothesis) -------
+#
+# These run a real ServingSimulator end to end, so they use the frozen
+# seeded traces directly instead of hypothesis strategies: the property is
+# asserted on a pinned workload (part of the test), keeping runtime and
+# replays byte-identical.
+
+
+@pytest.fixture(scope="module")
+def sched_engine():
+    # ZeRO-Inference plans instantly (no LP search) — the properties under
+    # test are the scheduler's, not the planner's.
+    return ZeroInferenceEngine(single_a100())
+
+
+@pytest.fixture(scope="module")
+def sched_model():
+    return get_model("opt-1.3b")
+
+
+def _run_policy(engine, model, trace, scheduler, **cfg):
+    return ServingSimulator(
+        engine=engine,
+        model=model,
+        trace=trace,
+        policy=make_policy(scheduler),
+        config=ServingConfig(**cfg),
+    ).run()
+
+
+def test_sjf_mean_queue_wait_never_worse_than_fcfs(sched_engine, sched_model):
+    """Shortest-job-first is the canonical mean-wait optimiser: on a
+    drop-free seeded Poisson trace, its mean time-to-first-token cannot
+    exceed FCFS's (both policies see byte-identical arrivals)."""
+    trace = poisson_trace(rate=2.0, horizon_s=20.0, seed=7)
+    waits = {}
+    for scheduler in ("fcfs", "sjf"):
+        result = _run_policy(
+            sched_engine, sched_model, trace, scheduler,
+            queue_capacity=4 * len(trace),
+        )
+        assert not result.dropped, (
+            f"{scheduler}: the no-drop precondition failed — "
+            f"{len(result.dropped)} drops; the property only compares "
+            "completed waits"
+        )
+        assert len(result.finished) == len(trace)
+        ttfts = [r.ttft_s for r in result.finished]
+        assert all(t is not None and t >= 0.0 for t in ttfts)
+        waits[scheduler] = sum(ttfts) / len(ttfts)
+    assert waits["sjf"] <= waits["fcfs"] + 1e-9, (
+        f"SJF mean wait {waits['sjf']:.4f}s worse than FCFS "
+        f"{waits['fcfs']:.4f}s on the pinned trace"
+    )
+
+
+def test_priority_policy_never_inverts_same_arrival_requests(
+    sched_engine, sched_model
+):
+    """Among requests that arrive at the same instant, the priority policy
+    must start a strictly-higher-priority request no later than a lower
+    one — for every same-arrival pair, at every arrival burst."""
+    bursts = [
+        (0.0, [0, 3, 1, 2]),
+        (40.0, [2, 0, 2, 1]),
+        (80.0, [1, 1, 3, 0]),
+    ]
+    entries = [
+        (at, 16, 8, prio) for at, prios in bursts for prio in prios
+    ]
+    trace = replay_trace(entries, name="priority-bursts")
+    # max_batch=2 forces each burst to admit in waves, so ordering within
+    # a burst is actually observable in first-token times.
+    result = _run_policy(
+        sched_engine, sched_model, trace, "priority",
+        max_batch=2, queue_capacity=64,
+    )
+    assert not result.dropped
+    by_arrival: dict[float, list] = {}
+    for r in result.finished:
+        by_arrival.setdefault(r.arrival_s, []).append(r)
+    assert len(by_arrival) == len(bursts)
+    for arrival, requests in by_arrival.items():
+        for a in requests:
+            for b in requests:
+                if a.priority > b.priority:
+                    assert a.first_token_s <= b.first_token_s, (
+                        f"burst at t={arrival}: priority {a.priority} "
+                        f"(rid {a.rid}) started at {a.first_token_s} after "
+                        f"priority {b.priority} (rid {b.rid}) at "
+                        f"{b.first_token_s}"
+                    )

@@ -1,0 +1,60 @@
+"""The CI span-budget gate (scripts/check_span_budgets.py) itself."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+SCRIPT = Path(__file__).resolve().parent.parent / "scripts" / "check_span_budgets.py"
+
+
+@pytest.fixture(scope="module")
+def budgets_mod():
+    spec = importlib.util.spec_from_file_location("check_span_budgets", SCRIPT)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def _report(**totals):
+    return {
+        "scopes": {
+            name: {"calls": 3, "total_s": t, "max_s": t, "mean_s": t / 3}
+            for name, t in totals.items()
+        }
+    }
+
+
+def test_passes_within_budget(budgets_mod):
+    report = _report(**{
+        "obs.audit.sweep": 0.01, "obs.audit.faulted_sweep": 0.05,
+    })
+    assert budgets_mod.check(report, dict(budgets_mod.DEFAULT_BUDGETS)) == []
+
+
+def test_flags_overrun_and_missing_required_span(budgets_mod):
+    report = _report(**{"obs.audit.sweep": 99.0})
+    problems = budgets_mod.check(report, dict(budgets_mod.DEFAULT_BUDGETS))
+    assert any("obs.audit.sweep" in p and "99.000s" in p for p in problems)
+    assert any("obs.audit.faulted_sweep" in p and "missing" in p for p in problems)
+
+
+def test_unbudgeted_spans_are_ignored(budgets_mod):
+    report = _report(**{
+        "obs.audit.sweep": 0.01, "obs.audit.faulted_sweep": 0.01,
+        "some.other.span": 1e9,
+    })
+    assert budgets_mod.check(report, dict(budgets_mod.DEFAULT_BUDGETS)) == []
+
+
+def test_main_end_to_end(budgets_mod, tmp_path, capsys):
+    path = tmp_path / "report.json"
+    path.write_text(json.dumps(_report(**{
+        "obs.audit.sweep": 0.01, "obs.audit.faulted_sweep": 0.05,
+    })))
+    assert budgets_mod.main([str(path)]) == 0
+    assert budgets_mod.main([str(path), "--budget", "obs.audit.sweep=0.001"]) == 1
+    assert budgets_mod.main([str(path), "--budget", "nonsense"]) == 2
+    assert budgets_mod.main([str(tmp_path / "absent.json")]) == 2
+    capsys.readouterr()
