@@ -33,6 +33,11 @@ DEFAULT_BUDGETS: dict[str, float] = {
     "obs.audit.sweep": 30.0,
     "obs.audit.faulted_sweep": 60.0,
     "executor.run_token": 60.0,
+    #: The event-driven serving engine: the quick serve-sim smoke runs
+    #: the full engine comparison in well under a second on the
+    #: reference container; the budget guards against the run-length
+    #: advance silently degenerating back into a per-step loop.
+    "serving.run": 60.0,
 }
 
 #: Spans that must appear in the report at all — the profiled command is
@@ -41,13 +46,17 @@ DEFAULT_BUDGETS: dict[str, float] = {
 REQUIRED_SPANS = ("obs.audit.sweep", "obs.audit.faulted_sweep")
 
 
-def check(report: dict, budgets: dict[str, float]) -> list[str]:
+def check(
+    report: dict,
+    budgets: dict[str, float],
+    required: tuple[str, ...] = REQUIRED_SPANS,
+) -> list[str]:
     """Return a list of human-readable violations (empty = pass)."""
     scopes = report.get("scopes")
     if not isinstance(scopes, dict):
         return ["report has no 'scopes' section — was --profile passed?"]
     problems = []
-    for name in REQUIRED_SPANS:
+    for name in required:
         if name not in scopes:
             problems.append(f"required span {name!r} missing from report")
     for name, budget in sorted(budgets.items()):
@@ -69,6 +78,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--budget", action="append", default=[], metavar="NAME=SECONDS",
         help="extend/override a span budget (repeatable)",
+    )
+    parser.add_argument(
+        "--require", action="append", default=[], metavar="NAME",
+        help="replace the default required-span set (repeatable) — use "
+        "when gating a report from a command that doesn't run the audit "
+        "sweeps, e.g. --require serving.run for the serve-sim smoke",
     )
     args = parser.parse_args(argv)
 
@@ -94,7 +109,8 @@ def main(argv: list[str] | None = None) -> int:
         print(f"budgets: cannot read report: {exc}", file=sys.stderr)
         return 2
 
-    problems = check(report, budgets)
+    required = tuple(args.require) if args.require else REQUIRED_SPANS
+    problems = check(report, budgets, required)
     if problems:
         for problem in problems:
             print(f"budgets: FAIL: {problem}", file=sys.stderr)

@@ -55,13 +55,17 @@ def simulate_engine(
     scheduler: str = "fcfs",
     config: ServingConfig | None = None,
     collect_timeseries: bool = False,
+    collect_steps: bool = True,
 ) -> ServingResult:
     """One engine, one trace -> the full simulation result.
 
     ``collect_timeseries`` injects a registry so the loop samples its
     per-step curves (queue depth, step price, batch, rung); off by
     default because the curves are export-only — the run itself is
-    byte-identical either way.
+    byte-identical either way.  ``collect_steps=False`` skips retaining
+    per-step records entirely (the throughput setting for huge traces);
+    every summary metric is byte-identical either way, only the
+    ``steps``/``queue_depth`` views (timeline export) need it on.
     """
     from repro.obs.registry import MetricsRegistry
 
@@ -72,6 +76,7 @@ def simulate_engine(
         policy=make_policy(scheduler),
         config=config,
         metrics=MetricsRegistry(namespace="serving") if collect_timeseries else None,
+        collect_steps=collect_steps,
     )
     return sim.run()
 
@@ -85,13 +90,15 @@ def run_serving_comparison(
     quick: bool = False,
     seed: int = 0,
     collect_timeseries: bool = False,
+    collect_steps: bool = True,
 ) -> tuple[dict[str, Any], dict[str, ServingResult]]:
     """Run every engine on the same trace.
 
     Returns ``(payload, results)``: the JSON-ready comparison document and
     the raw per-engine :class:`ServingResult` (for timeline export).
-    ``collect_timeseries`` is forwarded to :func:`simulate_engine`; the
-    payload never contains the curves, so it is byte-identical either way.
+    ``collect_timeseries`` / ``collect_steps`` are forwarded to
+    :func:`simulate_engine`; the payload never contains per-step data, so
+    it is byte-identical whatever their setting.
     """
     trace = trace or default_trace(quick=quick, seed=seed)
     config = config or ServingConfig()
@@ -101,6 +108,7 @@ def run_serving_comparison(
         results[name] = simulate_engine(
             name, model_name, trace, scheduler=scheduler, config=config,
             collect_timeseries=collect_timeseries,
+            collect_steps=collect_steps,
         )
         metrics[name] = compute_metrics(results[name])
 

@@ -2,8 +2,8 @@
 
 The analytic cost model is the product here — ``plan()`` is called inside
 sweeps (Tab. 3 runs it for every engine/model/batch cell), so its wall
-time gates every experiment.  This module times the three hot entry
-points on fixed workloads and writes ``BENCH_timing.json`` so a perf
+time gates every experiment.  This module times the hot entry points
+on fixed workloads and writes ``BENCH_timing.json`` so a perf
 regression shows up as a number, not a feeling:
 
 * ``plan``      — ``LMOffloadEngine.plan`` on OPT-30B (s=64, n=32,
@@ -11,11 +11,19 @@ regression shows up as a number, not a feeling:
   (contention memo, planner mem-cache) flatters the result;
 * ``breakdown`` — ``CostModel`` construction + ``breakdown()`` for the
   policy ``plan`` chooses on that workload;
-* ``tab3``      — ``run_tab3_overall()``, the heaviest experiment sweep.
+* ``tab3``      — ``run_tab3_overall()``, the heaviest experiment sweep;
+* ``serve_sim`` — the event-driven serving simulator on a large seeded
+  Poisson trace (OPT-1.3B on ZeRO-Inference, ~100k requests at
+  near-saturation; a ~5k-request slice in ``--quick``), reporting
+  ``sim_steps_per_s`` and ``requests_per_s_of_simulation`` alongside the
+  wall times.
 
 ``BASELINES`` pins the pre-optimization medians (measured on the same
 container this harness first shipped from) so ``speedup_vs_baseline``
 reports how much the vectorized cost path + planner caching bought.
+The ``serve_sim`` baselines are the pre-rewrite per-step engine
+(``ServingSimulator._run_reference``) on the identical trace/config,
+measured the same way — quick and full workloads each pin their own.
 
 Run it with ``python -m repro bench-timing [--quick] [--output PATH]``.
 """
@@ -39,6 +47,8 @@ BASELINES: dict[str, float] = {
     "plan": 0.712,
     "breakdown": 9.35e-4,
     "tab3": 12.52,
+    "serve_sim": 18.92,
+    "serve_sim_quick": 0.397,
 }
 
 
@@ -47,6 +57,44 @@ def _bench_workload():
     from repro.perfmodel import Workload
 
     return Workload(get_model("opt-30b"), 64, 32, 64, 10)
+
+
+def _serve_sim_case(quick: bool):
+    """The serve-sim timing workload: a seeded near-saturation Poisson
+    trace (arrival rate ~= the batch-64 decode service rate, so the
+    queue stays busy without pegging) and a fresh simulator per repeat
+    (fresh engine too — no plan/price caches carry across repeats).
+
+    Returns ``(trace, build)`` where ``build()`` constructs the
+    simulator; the same trace/config pair is what the pinned
+    ``serve_sim`` / ``serve_sim_quick`` baselines were measured on.
+    """
+    from repro.bench.serving import _make_engine
+    from repro.models import get_model
+    from repro.serving import (
+        LengthSampler,
+        ServingConfig,
+        ServingSimulator,
+        make_policy,
+        poisson_trace,
+    )
+
+    lengths = LengthSampler(prompt_mean=64, gen_mean=32, max_len=256)
+    trace = poisson_trace(
+        25.0, 200.0 if quick else 4000.0, seed=42, lengths=lengths,
+        name="bench-serve-sim",
+    )
+    config = ServingConfig(max_batch=64, queue_capacity=4096)
+    model = get_model("opt-1.3b")
+
+    def build() -> ServingSimulator:
+        return ServingSimulator(
+            _make_engine("zero-inference"), model, trace,
+            policy=make_policy("fcfs"), config=config,
+            collect_steps=False,
+        )
+
+    return trace, build
 
 
 def time_callable(
@@ -157,6 +205,30 @@ def run_bench_timing(
                 registry=registry, label="tab3",
             ),
         )
+
+    trace, build_sim = _serve_sim_case(quick)
+    last_run: dict[str, Any] = {}
+
+    def serve_sim():
+        last_run["result"] = build_sim().run()
+
+    serve_result = time_callable(
+        serve_sim, repeats=1 if quick else 3, warmup=0 if quick else 1,
+        registry=registry, label="serve_sim",
+    )
+    # The simulation is deterministic, so the step count is the same on
+    # every repeat; derive the throughput figures from the median wall.
+    agg = last_run["result"].aggregates
+    sim_steps = sum(agg.step_counts.values())
+    serve_result["sim_requests"] = len(trace.requests)
+    serve_result["sim_steps"] = sim_steps
+    serve_result["sim_steps_per_s"] = sim_steps / serve_result["median_s"]
+    serve_result["requests_per_s_of_simulation"] = (
+        len(trace.requests) / serve_result["median_s"]
+    )
+    results["serve_sim"] = _with_baseline(
+        "serve_sim_quick" if quick else "serve_sim", serve_result
+    )
 
     return {
         "schema_version": SCHEMA_VERSION,

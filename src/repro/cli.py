@@ -229,6 +229,11 @@ def cmd_serve_sim(args) -> int:
         tpot_slo_s=args.tpot_slo,
     )
     engines = tuple(ENGINES) if args.engine == "all" else (args.engine,)
+    if args.no_steps and (args.metrics_out or args.chrome_trace):
+        raise ConfigError(
+            "serve-sim: --no-steps discards the per-step records that "
+            "--metrics-out/--chrome-trace export; drop one of the flags"
+        )
     payload, results = run_serving_comparison(
         model_name=args.model,
         trace=trace,
@@ -237,6 +242,7 @@ def cmd_serve_sim(args) -> int:
         engines=engines,
         seed=args.seed,
         collect_timeseries=bool(args.metrics_out or args.chrome_trace),
+        collect_steps=not args.no_steps,
     )
     print(f"trace:     {trace.describe()}")
     print(f"scheduler: {args.scheduler}   "
@@ -558,6 +564,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--quick", action="store_true", help="short trace (CI smoke)"
+    )
+    p.add_argument(
+        "--no-steps", action="store_true",
+        help="skip per-step record retention (fastest; summary metrics "
+        "are byte-identical, but timeline/metrics export needs steps)",
     )
     p.add_argument("--output", default="BENCH_serving.json")
     p.set_defaults(func=cmd_serve_sim)

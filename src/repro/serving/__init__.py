@@ -47,10 +47,12 @@ from repro.serving.policies import (
 from repro.serving.queue import AdmissionQueue
 from repro.serving.request import DropReason, Request, RequestSpec, RequestState
 from repro.serving.simulator import (
+    ServingAggregates,
     ServingConfig,
     ServingResult,
     ServingSimulator,
     StepRecord,
+    StepRun,
 )
 from repro.serving.timeline import export_request_timeline
 
@@ -78,9 +80,11 @@ __all__ = [
     "Request",
     "RequestSpec",
     "RequestState",
+    "ServingAggregates",
     "ServingConfig",
     "ServingResult",
     "ServingSimulator",
     "StepRecord",
+    "StepRun",
     "export_request_timeline",
 ]

@@ -26,6 +26,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Any
 
+import numpy as np
+
 from repro.errors import MemoryCapacityError, PolicyError, ServingError
 from repro.models.config import ModelConfig
 from repro.obs.profiling import PROFILER
@@ -54,10 +56,23 @@ class StepCostOracle:
     #: maxima so the planned placement stays feasible as contexts grow.
     plan_prompt_len: int = 64
     plan_gen_len: int = 32
+    #: Fill the decode price cache for *every* context bucket of a
+    #: concurrency level in one ``decode_task_costs_vec`` call the first
+    #: time that level is priced, instead of one scalar pricing per
+    #: (level, bucket) miss.  Bit-identical to the scalar path (the same
+    #: ``vec == scalar`` discipline the perf-model layer pins); ``False``
+    #: keeps the per-bucket scalar pricing as the reference.
+    vectorized: bool = True
 
     _plans: dict[int, tuple | None] = field(default_factory=dict, repr=False)
     _step_cache: dict[tuple, float] = field(default_factory=dict, repr=False)
     _mem_cache: dict = field(default_factory=dict, repr=False)
+    #: (n_seqs, bucketed ctx) -> feasibility verdict.  The prescreen's own
+    #: verdict cache is keyed per formula term; this caches the composed
+    #: answer so admission control skips prescreen construction entirely.
+    _feasible_cache: dict[tuple[int, int], bool] = field(
+        default_factory=dict, repr=False
+    )
     #: Planner error message per concurrency level that failed to plan —
     #: admission attaches this to the INFEASIBLE drop so rejections carry
     #: the *reason*, not just the verdict.
@@ -113,6 +128,7 @@ class StepCostOracle:
         self._plans.clear()
         self._step_cache.clear()
         self._mem_cache.clear()
+        self._feasible_cache.clear()
         self._plan_errors.clear()
 
     def _price_workload(self, policy, ctx_b: int) -> Workload:
@@ -130,18 +146,25 @@ class StepCostOracle:
         Uses the planner's own :class:`MemoryPrescreen` (same mirrored
         formulas, shared verdict cache) rather than a parallel model.
         """
+        ctx_b = self._bucket_ctx(ctx_len)
+        key = (n_seqs, ctx_b)
+        hit = self._feasible_cache.get(key)
+        if hit is not None:
+            return hit
         planned = self.planned(n_seqs)
         if planned is None:
-            return False
-        policy, _ = planned
-        ctx_b = self._bucket_ctx(ctx_len)
-        pre = MemoryPrescreen(
-            self._price_workload(policy, ctx_b), policy, self.engine.hw,
-            self._mem_cache,
-        )
-        return pre.gpu_feasible(policy.wg, policy.cg, policy.hg) and pre.cpu_feasible(
-            policy.wg, policy.cg, policy.hg, policy.wd
-        )
+            verdict = False
+        else:
+            policy, _ = planned
+            pre = MemoryPrescreen(
+                self._price_workload(policy, ctx_b), policy, self.engine.hw,
+                self._mem_cache,
+            )
+            verdict = pre.gpu_feasible(
+                policy.wg, policy.cg, policy.hg
+            ) and pre.cpu_feasible(policy.wg, policy.cg, policy.hg, policy.wd)
+        self._feasible_cache[key] = verdict
+        return verdict
 
     def max_feasible_batch(self, ctx_len: int, limit: int) -> int:
         """Largest ``n <= limit`` that plans and fits at ``ctx_len`` (0 if none)."""
@@ -155,6 +178,60 @@ class StepCostOracle:
     def _iters(self, policy) -> int:
         return self.model.num_layers * policy.num_gpu_batches
 
+    def decode_bucket_headroom(self, ctx_len: int) -> int:
+        """How many decode steps from ``ctx_len`` share one bucketed price.
+
+        Contexts grow one token per step, so the price is constant until
+        the context crosses its bucket's upper edge — the event engine
+        uses this as the price-bucket bound on a coalesced run length.
+        """
+        return self._bucket_ctx(ctx_len) - ctx_len + 1
+
+    def _fill_decode_prices(self, n_seqs: int, planned: tuple, ctx_b: int) -> None:
+        """Price every context bucket of one concurrency level in a single
+        ``decode_task_costs_vec`` sweep.
+
+        One workload spanning the whole bucket range prices bucket ``b``
+        at token index ``b - base`` (integer-valued float64, exact), which
+        is bit-identical to the scalar per-bucket workload's token 0 — the
+        vec==scalar equivalence tests pin this.
+        """
+        policy, cpu_ctx = planned
+        base = self.ctx_bucket
+        top = max(ctx_b, self._bucket_ctx(self.plan_prompt_len + self.plan_gen_len))
+        buckets = range(base, top + 1, self.ctx_bucket)
+        wl = Workload(
+            self.model, base, top - base + 2,
+            policy.gpu_batch_size, policy.num_gpu_batches,
+        )
+        model = CostModel(wl, policy, self.engine.hw, cpu_ctx, self.engine.calibration)
+        toks = np.array([b - base for b in buckets], dtype=np.float64)
+        vals = CostModel.step_seconds_vec(model.decode_task_costs_vec(toks))
+        iters = self._iters(policy)
+        for b, v in zip(buckets, vals):
+            self._step_cache[("decode", n_seqs, b)] = float(v) * iters
+
+    def _planned_or_raise(self, n_seqs: int) -> tuple:
+        planned = self.planned(n_seqs)
+        if planned is None:
+            raise ServingError(
+                f"no feasible plan for {n_seqs} concurrent sequences "
+                f"of {self.model.name}"
+            )
+        return planned
+
+    def warm_up(self, limit: int) -> int:
+        """Find the largest power-of-two back-off of ``limit`` that still
+        plans (the chaos rung probe's ladder) and bulk-price its decode
+        buckets in one vectorized call.  Returns the probed level."""
+        probe_n = limit
+        while probe_n > 1 and self.planned(probe_n) is None:
+            probe_n //= 2
+        planned = self.planned(probe_n)
+        if planned is not None and self.vectorized:
+            self._fill_decode_prices(probe_n, planned, self.ctx_bucket)
+        return probe_n
+
     def decode_step_seconds(self, n_seqs: int, ctx_len: int) -> float:
         """Wall seconds to advance ``n_seqs`` sequences one token."""
         ctx_b = self._bucket_ctx(ctx_len)
@@ -164,21 +241,26 @@ class StepCostOracle:
             PROFILER.cache("oracle.step_cache", hit=hit is not None)
         if hit is not None:
             return hit
-        planned = self.planned(n_seqs)
-        if planned is None:
-            raise ServingError(
-                f"no feasible plan for {n_seqs} concurrent sequences "
-                f"of {self.model.name}"
-            )
-        policy, cpu_ctx = planned
+        planned = self._planned_or_raise(n_seqs)
+        if self.vectorized:
+            self._fill_decode_prices(n_seqs, planned, ctx_b)
+            return self._step_cache[key]
+        value = self.decode_step_seconds_scalar(n_seqs, ctx_len)
+        self._step_cache[key] = value
+        return value
+
+    def decode_step_seconds_scalar(self, n_seqs: int, ctx_len: int) -> float:
+        """Uncached scalar reference for one decode price: a dedicated
+        single-bucket workload through ``decode_task_costs`` at token 0.
+        The vectorized fill must match this bit-for-bit (tested)."""
+        ctx_b = self._bucket_ctx(ctx_len)
+        policy, cpu_ctx = self._planned_or_raise(n_seqs)
         model = CostModel(
             self._price_workload(policy, ctx_b), policy, self.engine.hw,
             cpu_ctx, self.engine.calibration,
         )
         costs = model.decode_task_costs(0)
-        value = CostModel.step_seconds(costs) * self._iters(policy)
-        self._step_cache[key] = value
-        return value
+        return CostModel.step_seconds(costs) * self._iters(policy)
 
     def prefill_seconds(self, n_seqs: int, prompt_len: int) -> float:
         """Wall seconds for a batched prefill of ``n_seqs`` prompts."""
@@ -189,13 +271,7 @@ class StepCostOracle:
             PROFILER.cache("oracle.step_cache", hit=hit is not None)
         if hit is not None:
             return hit
-        planned = self.planned(n_seqs)
-        if planned is None:
-            raise ServingError(
-                f"no feasible plan for {n_seqs} concurrent sequences "
-                f"of {self.model.name}"
-            )
-        policy, cpu_ctx = planned
+        policy, cpu_ctx = self._planned_or_raise(n_seqs)
         model = CostModel(
             self._price_workload(policy, ctx_b), policy, self.engine.hw,
             cpu_ctx, self.engine.calibration,

@@ -68,8 +68,11 @@ def compute_metrics(result: ServingResult) -> dict[str, Any]:
         assert r.drop_reason is not None
         drop_counts[r.drop_reason.value] = drop_counts.get(r.drop_reason.value, 0) + 1
 
-    depths = [w + g for _, w, g in result.queue_depth]
-    waits = [w for _, w, _ in result.queue_depth]
+    # Queue-depth and step-count stats come from the loop's running
+    # aggregates, not from expanding per-step records: integer sums and
+    # maxima are exact, so the document is byte-identical to the old
+    # list-derived values — and independent of ``collect_steps``.
+    agg = result.aggregates
 
     doc = {
         "engine": result.engine,
@@ -100,22 +103,22 @@ def compute_metrics(result: ServingResult) -> dict[str, Any]:
             "requests_per_s": len(finished) / makespan,
         },
         "queue_depth": {
-            "mean_waiting": sum(waits) / len(waits) if waits else 0.0,
-            "max_waiting": max(waits, default=0),
-            "max_in_system": max(depths, default=0),
+            "mean_waiting": (
+                agg.waiting_sum / agg.depth_samples if agg.depth_samples else 0.0
+            ),
+            "max_waiting": agg.max_waiting,
+            "max_in_system": agg.max_in_system,
         },
         "steps": {
-            "prefill": sum(1 for s in result.steps if s.kind == "prefill"),
-            "decode": sum(1 for s in result.steps if s.kind == "decode"),
+            "prefill": agg.steps_of_kind("prefill"),
+            "decode": agg.steps_of_kind("decode"),
         },
         "makespan_s": result.makespan_s,
     }
     if result.fault_stats is not None:
         # Present only for chaos runs, so fault-free metrics documents stay
         # byte-identical to the pre-fault-layer output.
-        doc["steps"]["aborted"] = sum(
-            1 for s in result.steps if s.kind.startswith("abort-")
-        )
+        doc["steps"]["aborted"] = agg.aborted_steps
         faults = result.fault_stats.to_dict(result.makespan_s)
         faults["retries"] = sum(r.retries for r in result.requests)
         faults["slo_attainment_under_chaos"] = doc["slo"]["attainment"]

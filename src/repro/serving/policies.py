@@ -20,6 +20,17 @@ class SchedulerPolicy:
 
     name = "fcfs"
     preemptive = False
+    #: True when :meth:`sort_key` is a faithful, *waiting-time-constant*
+    #: factorization of :meth:`order` — the event engine then keeps the
+    #: queue pre-sorted incrementally instead of re-sorting per step.
+    #: Subclasses that override ``order`` with a ranking that depends on
+    #: ``now`` (or on state that changes while a request waits) must set
+    #: this False or provide a matching ``sort_key``.
+    static_order = True
+
+    def sort_key(self, req: Request) -> tuple:
+        """The total-order key :meth:`order` sorts by (ties on rid)."""
+        return (req.arrival_s, req.rid)
 
     def order(self, waiting: list[Request], now: float) -> list[Request]:
         """Admission order, head first.  Must be a deterministic total
@@ -46,6 +57,11 @@ class SJFPolicy(SchedulerPolicy):
 
     name = "sjf"
 
+    def sort_key(self, req: Request) -> tuple:
+        # remaining_tokens only changes while RUNNING, so the key is
+        # constant for the whole time a request sits in the queue.
+        return (req.remaining_tokens, req.arrival_s, req.rid)
+
     def order(self, waiting: list[Request], now: float) -> list[Request]:
         return sorted(
             waiting, key=lambda r: (r.remaining_tokens, r.arrival_s, r.rid)
@@ -66,6 +82,9 @@ class PriorityPolicy(SchedulerPolicy):
         self.preemptive = preempt
         if preempt:
             self.name = "priority-preempt"
+
+    def sort_key(self, req: Request) -> tuple:
+        return (-req.priority, req.arrival_s, req.rid)
 
     def order(self, waiting: list[Request], now: float) -> list[Request]:
         return sorted(

@@ -1,7 +1,13 @@
 """Continuous-batching serving simulator over the zig-zag schedule.
 
-The simulator advances a virtual clock step by step, exactly the way an
-offloading serving loop would run on real hardware:
+The simulator is an event-driven engine: between scheduling events —
+the next arrival, the next queue-deadline expiry, the next fault-window
+boundary, the earliest request completion, and the next step-price
+bucket boundary — the running batch's composition *and* its bucketed
+step price are constant, so the loop advances all ``k`` identical decode
+steps in one multiply instead of ``k`` Python iterations.  Each loop
+iteration still performs the same four phases a real offloading serving
+loop would:
 
 1. **ingest** — arrivals up to the clock enter the bounded admission
    queue (overflow and timeouts are dropped with accounting);
@@ -14,10 +20,21 @@ offloading serving loop would run on real hardware:
    producing each request's first token (TTFT); resumed (preempted)
    requests re-prefill their accumulated context, which is the real cost
    of preemption under offloading;
-4. **decode** — every running request advances one token in a single
-   overlapped step, priced by the performance model (Eq. 2's max over the
-   six tasks, times the ``l x k`` zig-zag iterations) at the batch's
-   maximum context length.
+4. **decode** — every running request advances one token per step in a
+   single overlapped step, priced by the performance model (Eq. 2's max
+   over the six tasks, times the ``l x k`` zig-zag iterations) at the
+   batch's maximum context length; with no event on the horizon, a whole
+   *run* of identical steps is committed at once.
+
+Coalesced runs are recorded as :class:`StepRun` entries that expand
+lazily into the exact legacy per-step :class:`StepRecord` sequence only
+when something actually iterates steps (Chrome-trace export, the
+machine-facing metrics registry); summary metrics come from running
+aggregates accumulated during the loop, so results are byte-identical
+whether per-step collection is on, sampled or off.  The pre-rewrite
+per-step loop is kept as :meth:`ServingSimulator._run_reference` and an
+equivalence test matrix pins the two engines byte-for-byte across
+traces, policies and fault scenarios.
 
 Fault injection (optional, off by default): pass a
 :class:`~repro.faults.FaultSchedule` and the loop gains chaos semantics —
@@ -28,20 +45,26 @@ when the deviation exceeds ``drift_tolerance``, and walks the
 faults** abort in-flight steps (the work is lost) and retry after a
 capped, seeded-jitter exponential backoff, with per-request retry budgets
 and optional deadlines producing ``RETRY_EXHAUSTED`` / ``FAULT_ABORT``
-drops.  With no schedule (or an empty one) none of this code runs and the
-loop is step-for-step identical to the fault-free simulator.
+drops.  Chaos draws one RNG sample per attempted step, so runs are never
+coalesced under a non-empty schedule — the RNG stream (and therefore the
+whole simulation) stays byte-identical to the per-step engine.  With no
+schedule (or an empty one) none of this code runs.
 
 Nothing here is stochastic unless a fault schedule says so: traces are
 frozen up front, ties are total orders, the clock is pure float
-arithmetic, and every fault draw comes from one named seeded stream — two
-runs with the same trace, schedule and seed are byte-identical, which the
-tests assert.
+arithmetic (coalesced runs advance it with ``np.cumsum``, whose
+sequential accumulation is bit-identical to ``k`` repeated ``t += dur``
+additions), and every fault draw comes from one named seeded stream —
+two runs with the same trace, schedule and seed are byte-identical,
+which the tests assert.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Any
+
+import numpy as np
 
 from repro.errors import ConfigError, RetryExhaustedError
 from repro.faults import LADDER, FaultSchedule, FaultStats, RetryPolicy, relative_drift
@@ -151,18 +174,137 @@ class StepRecord:
         return self.end_s - self.start_s
 
 
+def _run_clock(start_s: float, dur_s: float, count: int) -> np.ndarray:
+    """Clock values ``[start, t_1, ..., t_count]`` of ``count`` equal
+    steps.  ``np.cumsum`` accumulates sequentially, so every intermediate
+    value is bit-identical to the legacy loop's repeated ``t += dur``."""
+    steps = np.empty(count + 1, dtype=np.float64)
+    steps[0] = start_s
+    steps[1:] = dur_s
+    return np.cumsum(steps)
+
+
+@dataclass(frozen=True)
+class StepRun:
+    """``count`` consecutive identical steps, recorded as one entry.
+
+    Between scheduling events the batch composition and the bucketed
+    step price are constant, so one run captures what the legacy engine
+    recorded as ``count`` :class:`StepRecord` entries plus ``count``
+    queue-depth samples.  :meth:`expand` / :meth:`expand_depth`
+    reconstruct those sequences exactly (decode context grows one token
+    per step; the clock is re-derived with the same ``np.cumsum`` the
+    engine advanced it with).  Abort and prefill runs always have
+    ``count == 1``.
+    """
+
+    kind: str
+    start_s: float
+    end_s: float
+    dur_s: float
+    count: int
+    batch: int
+    max_ctx: int
+    rids: tuple[int, ...]
+    #: Waiting-queue length at every step of the run (constant: arrivals
+    #: and expiries are run boundaries).
+    queue_len: int
+    #: ``len(running)`` after the run's final step (completions happen
+    #: only there; during the run it equals ``batch``).
+    running_after: int
+    #: Clock at the post-step sample point — equals ``end_s`` except for
+    #: aborted steps, whose sample lands after the retry backoff.
+    sample_t: float
+
+    def expand(self) -> list[StepRecord]:
+        if self.count == 1:
+            return [
+                StepRecord(
+                    kind=self.kind, start_s=self.start_s, end_s=self.end_s,
+                    batch=self.batch, max_ctx=self.max_ctx, rids=self.rids,
+                )
+            ]
+        times = _run_clock(self.start_s, self.dur_s, self.count)
+        return [
+            StepRecord(
+                kind=self.kind, start_s=float(times[j]), end_s=float(times[j + 1]),
+                batch=self.batch, max_ctx=self.max_ctx + j, rids=self.rids,
+            )
+            for j in range(self.count)
+        ]
+
+    def expand_depth(self) -> list[tuple[float, int, int]]:
+        if self.count == 1:
+            return [(self.sample_t, self.queue_len, self.running_after)]
+        times = _run_clock(self.start_s, self.dur_s, self.count)
+        out = [
+            (float(times[j]), self.queue_len, self.batch)
+            for j in range(1, self.count)
+        ]
+        out.append((self.sample_t, self.queue_len, self.running_after))
+        return out
+
+
+@dataclass
+class ServingAggregates:
+    """Running aggregates the loop maintains instead of unbounded
+    per-step lists — everything :func:`repro.serving.metrics.compute_metrics`
+    needs, accumulated incrementally and byte-identical to the values the
+    legacy engine derived from ``result.steps`` / ``result.queue_depth``
+    (integer sums and maxima are exact)."""
+
+    step_counts: dict[str, int] = field(default_factory=dict)
+    depth_samples: int = 0
+    waiting_sum: int = 0
+    max_waiting: int = 0
+    max_in_system: int = 0
+
+    def count_steps(self, kind: str, count: int) -> None:
+        self.step_counts[kind] = self.step_counts.get(kind, 0) + count
+
+    def observe_depth(
+        self, waiting: int, batch: int, running_after: int, count: int
+    ) -> None:
+        self.depth_samples += count
+        self.waiting_sum += waiting * count
+        if waiting > self.max_waiting:
+            self.max_waiting = waiting
+        if count > 1 and waiting + batch > self.max_in_system:
+            self.max_in_system = waiting + batch
+        if waiting + running_after > self.max_in_system:
+            self.max_in_system = waiting + running_after
+
+    def steps_of_kind(self, kind: str) -> int:
+        return self.step_counts.get(kind, 0)
+
+    @property
+    def aborted_steps(self) -> int:
+        return sum(
+            n for kind, n in self.step_counts.items()
+            if kind.startswith("abort-")
+        )
+
+
 @dataclass
 class ServingResult:
-    """Everything a simulation produced, metrics-layer ready."""
+    """Everything a simulation produced, metrics-layer ready.
+
+    Steps are stored as coalesced :class:`StepRun` entries plus running
+    :class:`ServingAggregates`; the legacy ``steps`` / ``queue_depth``
+    views expand lazily (and cache) the first time something iterates
+    them — summary metrics never trigger the expansion.  When the
+    simulator ran with ``collect_steps=False`` the runs are not retained
+    and both views are empty; every aggregate-derived metric is
+    byte-identical either way.
+    """
 
     engine: str
     trace_name: str
     policy_name: str
     config: ServingConfig
     requests: list[Request]
-    steps: list[StepRecord]
-    #: (clock, waiting, running) sampled after every step boundary.
-    queue_depth: list[tuple[float, int, int]]
+    step_runs: list[StepRun]
+    aggregates: ServingAggregates
     makespan_s: float
     #: Fault-layer bookkeeping; ``None`` when no (non-empty) schedule was
     #: injected, so fault-free results stay byte-identical to the
@@ -174,6 +316,32 @@ class ServingResult:
     #: ``ServingSimulator(metrics=...)``; ``None`` otherwise, and nothing
     #: serialized from this result ever includes it implicitly.
     timeseries: MetricsRegistry | None = None
+
+    _steps_cache: list[StepRecord] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _depth_cache: list[tuple[float, int, int]] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    @property
+    def steps(self) -> list[StepRecord]:
+        """Per-step records, expanded lazily from the coalesced runs."""
+        if self._steps_cache is None:
+            self._steps_cache = [
+                rec for run in self.step_runs for rec in run.expand()
+            ]
+        return self._steps_cache
+
+    @property
+    def queue_depth(self) -> list[tuple[float, int, int]]:
+        """(clock, waiting, running) sampled after every step boundary,
+        expanded lazily from the coalesced runs."""
+        if self._depth_cache is None:
+            self._depth_cache = [
+                d for run in self.step_runs for d in run.expand_depth()
+            ]
+        return self._depth_cache
 
     @property
     def finished(self) -> list[Request]:
@@ -197,6 +365,7 @@ class ServingSimulator:
         faults: FaultSchedule | None = None,
         seed: int = 0,
         metrics: MetricsRegistry | None = None,
+        collect_steps: bool = True,
     ) -> None:
         self.engine = engine
         self.model = model
@@ -208,8 +377,15 @@ class ServingSimulator:
         #: Optional per-step time-series sink.  ``None`` (the default) is
         #: structurally inert: the loop takes no RNG draw, touches no
         #: state and branches on nothing because of it, so a run with and
-        #: without sampling is byte-identical (tested).
+        #: without sampling is byte-identical (tested).  A registry also
+        #: forces per-step advance (no coalescing) so every step is
+        #: sampled live — byte-identical too, just slower.
         self.metrics = metrics
+        #: Retain the coalesced step runs on the result (``steps`` /
+        #: ``queue_depth`` views need them).  ``False`` skips all step
+        #: record-keeping for maximum throughput; everything derived from
+        #: aggregates — ``compute_metrics`` included — is byte-identical.
+        self.collect_steps = collect_steps
         #: Chaos mode is engaged only by a non-empty schedule; an empty
         #: one (``zero_schedule()``) runs the exact fault-free code path.
         self._chaos = faults is not None and len(faults.faults) > 0
@@ -241,8 +417,20 @@ class ServingSimulator:
         by memory feasibility of the enlarged batch."""
         if limit is None:
             limit = self.config.max_batch
+        ordered = queue.ordered_view()
+        candidates = (
+            list(ordered)
+            if ordered is not None
+            else self.policy.order(list(queue.waiting), now)
+        )
         admitted: list[Request] = []
-        for req in self.policy.order(list(queue.waiting), now):
+        # The candidate loop needs max(context_len + 1) over running and
+        # admitted at every step; track it incrementally (recomputing the
+        # running part only when preemption removes a victim) instead of
+        # rescanning both lists per candidate.
+        run_ctx = max((r.context_len + 1 for r in running), default=0)
+        adm_ctx = 0
+        for req in candidates:
             occupied = len(running) + len(admitted)
             if occupied >= limit:
                 if not (self.policy.preemptive and running):
@@ -253,11 +441,8 @@ class ServingSimulator:
                 running.remove(victim)
                 victim.preemptions += 1
                 queue.requeue(victim, now)
-            ctx = max(
-                [r.context_len + 1 for r in running]
-                + [r.context_len + 1 for r in admitted]
-                + [req.context_len + 1]
-            )
+                run_ctx = max((r.context_len + 1 for r in running), default=0)
+            ctx = max(run_ctx, adm_ctx, req.context_len + 1)
             if not self.oracle.feasible(len(running) + len(admitted) + 1, ctx):
                 if not running and not admitted:
                     # Even alone this request can never fit: drop it rather
@@ -275,27 +460,44 @@ class ServingSimulator:
                     continue
                 break
             admitted.append(queue.take(req))
+            if req.context_len + 1 > adm_ctx:
+                adm_ctx = req.context_len + 1
         return admitted
 
     # -- the loop ----------------------------------------------------------
 
     def run(self) -> ServingResult:
+        """The event-driven engine (run-length decode advance)."""
         with span("serving.run"):
-            return self._run()
+            return self._run(coalesce=True)
 
-    def _run(self) -> ServingResult:
+    def _run_reference(self) -> ServingResult:
+        """The pre-rewrite per-step engine, kept as the equivalence
+        reference: one priced step per iteration, a full policy re-sort
+        per admission and the linear ``expire`` scan — no run-length
+        advance, no deadline heap, no pre-sorted admission view."""
+        with span("serving.run_reference"):
+            return self._run(coalesce=False)
+
+    def _run(self, coalesce: bool) -> ServingResult:
         cfg = self.config
         chaos = self._chaos
         pending = [
             Request.from_spec(i, spec) for i, spec in enumerate(self.trace.requests)
         ]
         all_requests = list(pending)
-        queue = AdmissionQueue(cfg.queue_capacity, cfg.queue_timeout_s)
+        queue = AdmissionQueue(
+            cfg.queue_capacity, cfg.queue_timeout_s, use_heap=coalesce
+        )
+        if coalesce and getattr(self.policy, "static_order", False):
+            queue.attach_order(self.policy.sort_key)
         running: list[Request] = []
-        steps: list[StepRecord] = []
-        depth: list[tuple[float, int, int]] = []
+        runs: list[StepRun] = []
+        agg = ServingAggregates()
+        keep = self.collect_steps
         t = 0.0
         i = 0
+        n_pending = len(pending)
 
         stats: FaultStats | None = None
         if chaos:
@@ -312,13 +514,31 @@ class ServingSimulator:
             # The loop's planning ceiling under nominal specs: the rung
             # probe divides this rather than max_batch so a ceiling the
             # engine never planned at doesn't masquerade as fault damage.
-            probe_n = cfg.max_batch
-            while probe_n > 1 and self.oracle.planned(probe_n) is None:
-                probe_n //= 2
+            probe_n = self.oracle.warm_up(cfg.max_batch)
 
         reg = self.metrics
+        # Run-length advance only when every per-step observer is inert:
+        # chaos draws one RNG sample per attempted step, and a live
+        # registry samples each step's curves — both force k=1.
+        fast = coalesce and not chaos and reg is None
 
-        def sample_step() -> None:
+        def emit(
+            kind: str, start: float, end: float, dur: float, count: int,
+            batch: int, max_ctx: int, rids: tuple[int, ...], running_after: int,
+        ) -> None:
+            agg.count_steps(kind, count)
+            q = len(queue)
+            agg.observe_depth(q, batch, running_after, count)
+            if keep:
+                runs.append(
+                    StepRun(
+                        kind=kind, start_s=start, end_s=end, dur_s=dur,
+                        count=count, batch=batch, max_ctx=max_ctx, rids=rids,
+                        queue_len=q, running_after=running_after, sample_t=t,
+                    )
+                )
+
+        def sample_step(start: float, end: float, batch: int) -> None:
             """One point per curve at each step boundary, timestamped with
             the clock the loop actually advanced to (aborted steps land
             after their backoff, like everything else that observes them).
@@ -326,13 +546,12 @@ class ServingSimulator:
             the fault-free loop could observe."""
             if reg is None:
                 return
-            step = steps[-1]
             reg.timeseries("curve.queue_waiting").sample(t, float(len(queue)))
             reg.timeseries("curve.in_system").sample(
                 t, float(len(queue) + len(running))
             )
-            reg.timeseries("curve.step_s").sample(t, step.duration_s)
-            reg.timeseries("curve.batch").sample(t, float(step.batch))
+            reg.timeseries("curve.step_s").sample(t, end - start)
+            reg.timeseries("curve.batch").sample(t, float(batch))
             reg.timeseries("curve.rung").sample(
                 t, float(rung_idx) if chaos else 0.0
             )
@@ -456,11 +675,11 @@ class ServingSimulator:
                 survivors.append(req)
             return now, survivors
 
-        while i < len(pending) or queue.waiting or running:
+        while i < n_pending or queue.waiting or running:
             if not queue.waiting and not running:
                 # Idle: jump the clock to the next arrival.
                 t = max(t, pending[i].arrival_s)
-            while i < len(pending) and pending[i].arrival_s <= t:
+            while i < n_pending and pending[i].arrival_s <= t:
                 queue.offer(pending[i], pending[i].arrival_s)
                 i += 1
             queue.expire(t)
@@ -474,6 +693,14 @@ class ServingSimulator:
                     )
                 else:
                     admitted = []
+            elif coalesce and not (
+                queue.waiting
+                and (self.policy.preemptive or len(running) < cfg.max_batch)
+            ):
+                # Provably a no-op: an empty queue admits nothing, and a
+                # full batch under a non-preemptive policy breaks at the
+                # first candidate without touching any state.
+                admitted = []
             else:
                 admitted = self._admit(queue, running, t)
 
@@ -482,74 +709,118 @@ class ServingSimulator:
                 dur = self.oracle.prefill_seconds(len(admitted), max_ctx)
                 start = t
                 if chaos and rng.random() < self.faults.transient_abort_probability(start):
+                    rids = tuple(r.rid for r in admitted) if keep else ()
                     t, survivors = fault_abort(start, dur, "prefill", admitted)
                     for req in survivors:
                         # Aborted before its first token: back to the queue
                         # intact (arrival_s keeps its place in FCFS order).
                         queue.requeue(req, t)
-                    steps.append(
-                        StepRecord(
-                            kind="abort-prefill", start_s=start, end_s=start + dur,
-                            batch=len(admitted), max_ctx=max_ctx,
-                            rids=tuple(r.rid for r in admitted),
-                        )
+                    emit(
+                        "abort-prefill", start, start + dur, dur, 1,
+                        len(admitted), max_ctx, rids, len(running),
                     )
-                    depth.append((t, len(queue), len(running)))
-                    sample_step()
+                    sample_step(start, start + dur, len(admitted))
                 else:
                     if chaos:
                         consec_aborts = 0
                     t += dur
-                    rids = []
                     for req in admitted:
                         req.state = RequestState.RUNNING
                         if req.admit_s is None:
                             req.admit_s = start
-                        rids.append(req.rid)
                         if not finish_token(req, t):
                             running.append(req)
-                    steps.append(
-                        StepRecord(
-                            kind="prefill", start_s=start, end_s=t,
-                            batch=len(admitted), max_ctx=max_ctx, rids=tuple(rids),
-                        )
+                    rids = tuple(r.rid for r in admitted) if keep else ()
+                    emit(
+                        "prefill", start, t, dur, 1,
+                        len(admitted), max_ctx, rids, len(running),
                     )
-                    depth.append((t, len(queue), len(running)))
-                    sample_step()
+                    sample_step(start, t, len(admitted))
                     if PROFILER.enabled:
                         PROFILER.count("serving.steps.prefill")
 
             if running:
                 max_ctx = max(r.context_len for r in running)
-                dur = self.oracle.decode_step_seconds(len(running), max_ctx)
+                n = len(running)
+                dur = self.oracle.decode_step_seconds(n, max_ctx)
                 start = t
                 if chaos and rng.random() < self.faults.transient_abort_probability(start):
-                    rids = tuple(r.rid for r in running)
+                    rids = tuple(r.rid for r in running) if keep else ()
                     t, running = fault_abort(start, dur, "decode", running)
-                    steps.append(
-                        StepRecord(
-                            kind="abort-decode", start_s=start, end_s=start + dur,
-                            batch=len(rids), max_ctx=max_ctx, rids=rids,
-                        )
+                    emit(
+                        "abort-decode", start, start + dur, dur, 1,
+                        n, max_ctx, rids, len(running),
                     )
-                    depth.append((t, len(queue), len(running)))
-                    sample_step()
+                    sample_step(start, start + dur, n)
                 else:
                     if chaos:
                         consec_aborts = 0
-                    t += dur
-                    rids = tuple(r.rid for r in running)
-                    running = [r for r in running if not finish_token(r, t)]
-                    steps.append(
-                        StepRecord(
-                            kind="decode", start_s=start, end_s=t,
-                            batch=len(rids), max_ctx=max_ctx, rids=rids,
+                    k = 1
+                    if fast:
+                        # Horizon of the next scheduling event, in steps:
+                        # the earliest completion and the price-bucket
+                        # boundary bound the run up front; arrivals and
+                        # queue-deadline expiries cut it on the clock.
+                        k = min(
+                            min(r.remaining_tokens for r in running),
+                            self.oracle.decode_bucket_headroom(max_ctx),
                         )
-                    )
-                    depth.append((t, len(queue), len(running)))
-                    sample_step()
-                    if PROFILER.enabled:
-                        PROFILER.count("serving.steps.decode")
+                        if k > 1 and queue.waiting and (
+                            self.policy.preemptive or n < cfg.max_batch
+                        ):
+                            # Admission could act at the next boundary.
+                            k = 1
+                        if k > 1:
+                            times = _run_clock(start, dur, k)
+                            if i < n_pending:
+                                # First intermediate boundary that would
+                                # ingest the next arrival ends the run.
+                                cut = int(np.searchsorted(
+                                    times[1:k], pending[i].arrival_s, side="left"
+                                )) + 1
+                                if cut < k:
+                                    k = cut
+                            if cfg.queue_timeout_s is not None:
+                                a_min = queue.next_expirable_arrival()
+                                if a_min is not None:
+                                    # Exactly the legacy expiry comparison,
+                                    # vectorized over the run's boundaries.
+                                    hits = np.nonzero(
+                                        (times[1:k] - a_min) > cfg.queue_timeout_s
+                                    )[0]
+                                    if hits.size:
+                                        k = int(hits[0]) + 1
+                    if k == 1:
+                        t += dur
+                        rids = tuple(r.rid for r in running) if keep else ()
+                        running = [r for r in running if not finish_token(r, t)]
+                        emit(
+                            "decode", start, t, dur, 1,
+                            n, max_ctx, rids, len(running),
+                        )
+                        sample_step(start, t, n)
+                        if PROFILER.enabled:
+                            PROFILER.count("serving.steps.decode")
+                    else:
+                        t = float(times[k])
+                        rids = tuple(r.rid for r in running) if keep else ()
+                        survivors = []
+                        for r in running:
+                            r.tokens_done += k
+                            if r.tokens_done >= r.gen_len:
+                                # first_token_s was set at prefill; only
+                                # completion bookkeeping remains.
+                                r.state = RequestState.FINISHED
+                                r.finish_s = t
+                            else:
+                                survivors.append(r)
+                        running = survivors
+                        emit(
+                            "decode", start, t, dur, k,
+                            n, max_ctx, rids, len(running),
+                        )
+                        if PROFILER.enabled:
+                            PROFILER.count("serving.steps.decode", k)
 
             if chaos and not admitted and not running and queue.waiting:
                 # Stalled: backpressure (or blanket infeasibility) with no
@@ -560,7 +831,7 @@ class ServingSimulator:
                 horizon = [
                     x
                     for x in (
-                        pending[i].arrival_s if i < len(pending) else None,
+                        pending[i].arrival_s if i < n_pending else None,
                         self.faults.next_change_after(t),
                     )
                     if x is not None and x > t
@@ -598,8 +869,8 @@ class ServingSimulator:
             policy_name=self.policy.name,
             config=cfg,
             requests=all_requests,
-            steps=steps,
-            queue_depth=depth,
+            step_runs=runs,
+            aggregates=agg,
             makespan_s=t,
             fault_stats=stats,
             fault_schedule=self.faults if chaos else None,

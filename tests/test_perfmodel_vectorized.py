@@ -188,7 +188,12 @@ def test_bench_timing_quick_smoke(tmp_path):
     payload = write_bench_timing(path=str(out), quick=True)
     assert out.exists()
     assert payload["quick"] is True
-    assert set(payload["targets"]) == {"plan", "breakdown"}
+    assert set(payload["targets"]) == {"plan", "breakdown", "serve_sim"}
     for result in payload["targets"].values():
         assert result["median_s"] > 0
         assert result["speedup_vs_baseline"] > 0
+    serve = payload["targets"]["serve_sim"]
+    assert serve["sim_requests"] > 0
+    assert serve["sim_steps"] > 0
+    assert serve["sim_steps_per_s"] > 0
+    assert serve["requests_per_s_of_simulation"] > 0

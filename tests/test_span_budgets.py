@@ -48,6 +48,27 @@ def test_unbudgeted_spans_are_ignored(budgets_mod):
     assert budgets_mod.check(report, dict(budgets_mod.DEFAULT_BUDGETS)) == []
 
 
+def test_custom_required_set_replaces_audit_spans(budgets_mod):
+    report = _report(**{"serving.run": 0.2})
+    assert budgets_mod.check(
+        report, dict(budgets_mod.DEFAULT_BUDGETS), required=("serving.run",)
+    ) == []
+    problems = budgets_mod.check(
+        _report(**{"obs.audit.sweep": 0.01}),
+        dict(budgets_mod.DEFAULT_BUDGETS),
+        required=("serving.run",),
+    )
+    assert any("serving.run" in p and "missing" in p for p in problems)
+
+
+def test_serving_run_budget_is_enforced(budgets_mod):
+    report = _report(**{"serving.run": 99.0})
+    problems = budgets_mod.check(
+        report, dict(budgets_mod.DEFAULT_BUDGETS), required=("serving.run",)
+    )
+    assert any("serving.run" in p and "99.000s" in p for p in problems)
+
+
 def test_main_end_to_end(budgets_mod, tmp_path, capsys):
     path = tmp_path / "report.json"
     path.write_text(json.dumps(_report(**{
@@ -57,4 +78,8 @@ def test_main_end_to_end(budgets_mod, tmp_path, capsys):
     assert budgets_mod.main([str(path), "--budget", "obs.audit.sweep=0.001"]) == 1
     assert budgets_mod.main([str(path), "--budget", "nonsense"]) == 2
     assert budgets_mod.main([str(tmp_path / "absent.json")]) == 2
+    serving = tmp_path / "serving.json"
+    serving.write_text(json.dumps(_report(**{"serving.run": 0.2})))
+    assert budgets_mod.main([str(serving), "--require", "serving.run"]) == 0
+    assert budgets_mod.main([str(serving)]) == 1  # audit spans missing
     capsys.readouterr()
