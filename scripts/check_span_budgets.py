@@ -38,6 +38,12 @@ DEFAULT_BUDGETS: dict[str, float] = {
     #: reference container; the budget guards against the run-length
     #: advance silently degenerating back into a per-step loop.
     "serving.run": 60.0,
+    #: One fleet simulation (N replicas on a shared clock).  The quick
+    #: fleet-sim smoke runs six of these (uniform-6 x five scenarios +
+    #: baseline) in ~20 s total on the reference container; the budget
+    #: guards against the per-replica event loop going quadratic in
+    #: replicas or queue depth.
+    "fleet.run": 300.0,
 }
 
 #: Spans that must appear in the report at all — the profiled command is

@@ -8,6 +8,7 @@ bench can report measured-vs-paper shape checks.
 
 from repro.bench.tables import format_table
 from repro.bench.chaos import chaos_rows, run_chaos, write_bench_chaos
+from repro.bench.fleet import fleet_rows, run_fleet_bench, write_bench_fleet
 from repro.bench.serving import (
     run_serving_comparison,
     simulate_engine,
@@ -34,6 +35,9 @@ __all__ = [
     "chaos_rows",
     "run_chaos",
     "write_bench_chaos",
+    "fleet_rows",
+    "run_fleet_bench",
+    "write_bench_fleet",
     "run_serving_comparison",
     "simulate_engine",
     "write_bench_serving",

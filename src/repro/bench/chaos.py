@@ -46,6 +46,11 @@ SCHEMA_VERSION = 1
 #: scenarios in the same order.
 SCENARIO_ORDER = SCENARIO_SWEEP_ORDER
 
+#: Max steady-state relative error (Eq. 1/2 prediction vs the overlapped
+#: executor) allowed per degraded capability window when the drift gate
+#: is on.  Matches the faulted drift audit's default.
+DEFAULT_DRIFT_TOLERANCE = 0.10
+
 
 def _accounting(result: ServingResult) -> dict[str, Any]:
     """Conservation check: every arrived request ends in exactly one of
@@ -71,6 +76,145 @@ def _accounting(result: ServingResult) -> dict[str, Any]:
     }
 
 
+def _drift_window(
+    engine_name: str,
+    schedule,
+    start: float,
+    end: float,
+    config: ServingConfig,
+    model_cfg,
+) -> dict[str, Any]:
+    """Price one degraded capability window: the engine replans on the
+    faulted platform and Eq. 1/2's steady-state step time is checked
+    against the overlapped executor on the same task costs.
+
+    This is the *serving* companion of the faulted drift audit: instead
+    of a fixed policy grid it prices the plan the engine itself would
+    pick for the serving workload under that window's degradation — the
+    exact numbers the admission loop trusts mid-outage.
+    """
+    from repro.errors import MemoryCapacityError, PolicyError
+    from repro.perfmodel.latency import CostModel
+    from repro.perfmodel.notation import Workload
+    from repro.runtime.executor import OverlappedExecutor
+
+    engine = _make_engine(engine_name)
+    effective = engine.platform.with_faults(schedule, (start + end) / 2.0)
+    engine.retarget(effective)
+    k = config.num_gpu_batches
+    b = max(1, -(-config.max_batch // k))
+    workload = Workload(model_cfg, 64, 32, b, k)
+    record: dict[str, Any] = {
+        "window": {"start_s": start, "end_s": end, "occurrences": 1},
+    }
+    try:
+        policy, cpu_ctx, _ = engine.plan_cached(workload)
+    except (PolicyError, MemoryCapacityError) as exc:
+        # An unplannable window is a capacity verdict, not model drift;
+        # the serving loop sheds under it (INFEASIBLE / degradation
+        # ladder), so the gate records it without failing.
+        record["plannable"] = False
+        record["plan_error"] = f"{type(exc).__name__}: {exc}"
+        return record
+    model = CostModel(workload, policy, engine.hw, cpu_ctx, engine.calibration)
+    iters = model_cfg.num_layers * policy.num_gpu_batches
+    costs = model.decode_task_costs(max(0, (workload.gen_len - 1) // 2))
+    predicted = CostModel.step_seconds(costs) * iters
+    executor = OverlappedExecutor(
+        num_layers=model_cfg.num_layers, num_gpu_batches=policy.num_gpu_batches
+    )
+    simulated = executor.steady_state_token_time(costs, warmup=3)
+    rel_err = abs(simulated - predicted) / simulated if simulated > 0 else 0.0
+    record.update(
+        {
+            "plannable": True,
+            "predicted_s": predicted,
+            "simulated_s": simulated,
+            "rel_err": rel_err,
+        }
+    )
+    return record
+
+
+def _drift_sweep(
+    engines: tuple[str, ...],
+    schedules: dict[tuple[str, str], Any],
+    scenarios: tuple[str, ...],
+    config: ServingConfig,
+    model_name: str,
+    tolerance: float,
+) -> dict[str, Any]:
+    """The drift-gate payload section: every engine's degraded capability
+    windows (deduped by fault signature — eight identical link flaps
+    price once) checked at ``tolerance``.  Scenarios with no capability
+    windows (pure transient-abort storms) contribute nothing: aborts
+    perturb outcomes, not step prices."""
+    from repro.faults.overlay import capability_windows, fault_signature
+
+    model_cfg = get_model(model_name)
+    doc_engines: dict[str, Any] = {}
+    over: list[str] = []
+    all_errs: list[float] = []
+    worst_ref: tuple[float, str] | None = None
+    for engine_name in engines:
+        doc_scenarios: dict[str, Any] = {}
+        for scenario_name in scenarios:
+            schedule = schedules[(engine_name, scenario_name)]
+            windows: list[dict[str, Any]] = []
+            seen: dict[tuple, int] = {}
+            for start, end, active in capability_windows(schedule):
+                sig = fault_signature(active)
+                if sig in seen:
+                    windows[seen[sig]]["window"]["occurrences"] += 1
+                    continue
+                seen[sig] = len(windows)
+                record = _drift_window(
+                    engine_name, schedule, start, end, config, model_cfg
+                )
+                record["window"]["kinds"] = sorted(
+                    {f.kind.value for f in active}
+                )
+                idx = len(windows)
+                windows.append(record)
+                if record["plannable"]:
+                    err = record["rel_err"]
+                    all_errs.append(err)
+                    ref = f"{engine_name}/{scenario_name}/{idx}"
+                    if err > tolerance:
+                        over.append(ref)
+                    if worst_ref is None or (err, ref) > worst_ref:
+                        worst_ref = (err, ref)
+            doc_scenarios[scenario_name] = {
+                "num_unique_windows": len(windows),
+                "windows": windows,
+                "max_rel_err": max(
+                    (w["rel_err"] for w in windows if w["plannable"]),
+                    default=0.0,
+                ),
+            }
+        doc_engines[engine_name] = doc_scenarios
+    return {
+        "tolerance": tolerance,
+        "workload": {
+            "prompt_len": 64,
+            "gen_len": 32,
+            "max_batch": config.max_batch,
+            "num_gpu_batches": config.num_gpu_batches,
+        },
+        "engines": doc_engines,
+        "summary": {
+            "num_windows_priced": len(all_errs),
+            "max_rel_err": worst_ref[0] if worst_ref is not None else 0.0,
+            "worst": worst_ref[1] if worst_ref is not None else None,
+            "mean_rel_err": (
+                sum(all_errs) / len(all_errs) if all_errs else 0.0
+            ),
+            "over_tolerance": sorted(over),
+            "ok": not over,
+        },
+    }
+
+
 def run_chaos(
     model_name: str = "opt-30b",
     trace: RequestTrace | None = None,
@@ -80,15 +224,26 @@ def run_chaos(
     scenarios: tuple[str, ...] = SCENARIO_ORDER,
     quick: bool = False,
     seed: int = 0,
+    drift_gate: bool = False,
+    drift_tolerance: float = DEFAULT_DRIFT_TOLERANCE,
 ) -> tuple[dict[str, Any], dict[tuple[str, str], ServingResult]]:
     """Every engine x every scenario (+ a fault-free baseline per engine).
 
     Returns ``(payload, results)``; ``results`` is keyed by
     ``(engine, scenario)`` with ``"baseline"`` for the fault-free run.
+
+    ``drift_gate=True`` adds the faulted serving drift gate: every
+    degraded capability window of every schedule is re-priced with a
+    fresh engine retargeted at the faulted platform, and Eq. 1/2's
+    steady-state prediction is checked against the overlapped executor
+    at ``drift_tolerance``.  The payload gains ``"drift"`` and
+    ``"all_drift_ok"`` sections (absent otherwise, so the default
+    payload stays byte-identical).
     """
     trace = trace or default_trace(quick=quick, seed=seed)
     config = config or ServingConfig()
     results: dict[tuple[str, str], ServingResult] = {}
+    schedules: dict[tuple[str, str], Any] = {}
     doc_engines: dict[str, Any] = {}
 
     for engine_name in engines:
@@ -116,6 +271,7 @@ def run_chaos(
         fault_horizon = baseline.makespan_s
         for scenario_name in scenarios:
             schedule = make_scenario(scenario_name, fault_horizon, seed)
+            schedules[(engine_name, scenario_name)] = schedule
             result = ServingSimulator(
                 engine=_make_engine(engine_name),
                 model=get_model(model_name),
@@ -167,6 +323,11 @@ def run_chaos(
             for s in runs
         ),
     }
+    if drift_gate:
+        payload["drift"] = _drift_sweep(
+            engines, schedules, scenarios, config, model_name, drift_tolerance
+        )
+        payload["all_drift_ok"] = payload["drift"]["summary"]["ok"]
     return payload, results
 
 

@@ -56,6 +56,8 @@ def simulate_engine(
     config: ServingConfig | None = None,
     collect_timeseries: bool = False,
     collect_steps: bool = True,
+    faults: Any = None,
+    seed: int = 0,
 ) -> ServingResult:
     """One engine, one trace -> the full simulation result.
 
@@ -66,6 +68,8 @@ def simulate_engine(
     per-step records entirely (the throughput setting for huge traces);
     every summary metric is byte-identical either way, only the
     ``steps``/``queue_depth`` views (timeline export) need it on.
+    ``faults`` (a :class:`~repro.faults.FaultSchedule`) plus ``seed``
+    switch the run into the fault-injected regime.
     """
     from repro.obs.registry import MetricsRegistry
 
@@ -77,6 +81,8 @@ def simulate_engine(
         config=config,
         metrics=MetricsRegistry(namespace="serving") if collect_timeseries else None,
         collect_steps=collect_steps,
+        faults=faults,
+        seed=seed,
     )
     return sim.run()
 
@@ -91,6 +97,7 @@ def run_serving_comparison(
     seed: int = 0,
     collect_timeseries: bool = False,
     collect_steps: bool = True,
+    scenario: str | None = None,
 ) -> tuple[dict[str, Any], dict[str, ServingResult]]:
     """Run every engine on the same trace.
 
@@ -99,17 +106,43 @@ def run_serving_comparison(
     ``collect_timeseries`` / ``collect_steps`` are forwarded to
     :func:`simulate_engine`; the payload never contains per-step data, so
     it is byte-identical whatever their setting.
+
+    ``scenario`` names a bundled fault scenario
+    (:func:`repro.faults.make_scenario`) to run every engine under: each
+    engine first runs fault-free to measure its makespan (the chaos-bench
+    horizon idiom — windows are fractions of the engine's own busy
+    period), then reruns with the scaled schedule; the reported metrics
+    are the faulted run's, and the payload gains a ``"scenario"`` section
+    recording the per-engine schedules.  ``None`` (the default) leaves
+    both runs and payload exactly as before.
     """
     trace = trace or default_trace(quick=quick, seed=seed)
     config = config or ServingConfig()
     results: dict[str, ServingResult] = {}
     metrics: dict[str, Any] = {}
+    scenario_doc: dict[str, Any] | None = None
+    if scenario is not None:
+        scenario_doc = {"name": scenario, "engines": {}}
     for name in engines:
         results[name] = simulate_engine(
             name, model_name, trace, scheduler=scheduler, config=config,
             collect_timeseries=collect_timeseries,
             collect_steps=collect_steps,
         )
+        if scenario is not None and scenario_doc is not None:
+            from repro.faults import make_scenario
+
+            schedule = make_scenario(scenario, results[name].makespan_s, seed)
+            scenario_doc["engines"][name] = {
+                "baseline_makespan_s": results[name].makespan_s,
+                "schedule": schedule.to_dict(),
+            }
+            results[name] = simulate_engine(
+                name, model_name, trace, scheduler=scheduler, config=config,
+                collect_timeseries=collect_timeseries,
+                collect_steps=collect_steps,
+                faults=schedule, seed=seed,
+            )
         metrics[name] = compute_metrics(results[name])
 
     comparison: dict[str, Any] = {}
@@ -140,6 +173,8 @@ def run_serving_comparison(
         "engines": metrics,
         "comparison": comparison,
     }
+    if scenario_doc is not None:
+        payload["scenario"] = scenario_doc
     return payload, results
 
 

@@ -10,6 +10,7 @@ whatif            hardware sensitivity sweep
 trace             export a Chrome trace of a decode schedule
 serve-sim         request-level serving simulation, write BENCH_serving.json
 chaos             fault-injection serving runs, write BENCH_chaos.json
+fleet-sim         multi-replica fleet simulation, write BENCH_fleet.json
 bench-timing      time the planner/cost-model hot path, write BENCH_timing.json
 audit             model-vs-runtime drift audit, write BENCH_audit.json
 
@@ -243,10 +244,14 @@ def cmd_serve_sim(args) -> int:
         seed=args.seed,
         collect_timeseries=bool(args.metrics_out or args.chrome_trace),
         collect_steps=not args.no_steps,
+        scenario=args.scenario,
     )
     print(f"trace:     {trace.describe()}")
     print(f"scheduler: {args.scheduler}   "
           f"SLO: ttft<={args.ttft_slo:g}s tpot<={args.tpot_slo:g}s")
+    if args.scenario:
+        print(f"scenario:  {args.scenario} (windows scaled to each "
+              "engine's fault-free makespan)")
     rows = [metrics_row(payload["engines"][name]) for name in engines]
     print(format_table(rows, f"serve-sim: {args.model}"))
     ratios = payload["comparison"].get("goodput_vs_flexgen")
@@ -335,6 +340,8 @@ def cmd_chaos(args) -> int:
         backoff_cap_s=args.backoff_cap,
         request_deadline_s=args.deadline,
     )
+    from repro.bench.chaos import DEFAULT_DRIFT_TOLERANCE
+
     payload, results = run_chaos(
         model_name=args.model,
         trace=trace,
@@ -343,11 +350,25 @@ def cmd_chaos(args) -> int:
         engines=engines,
         scenarios=scenarios,
         seed=args.seed,
+        drift_gate=args.drift_gate,
+        drift_tolerance=(
+            args.drift_tolerance
+            if args.drift_tolerance is not None
+            else DEFAULT_DRIFT_TOLERANCE
+        ),
     )
     print(f"trace: {trace.describe()}   seed: {args.seed}")
     print(format_table(chaos_rows(payload), f"chaos: {args.model}"))
     if not payload["all_accounting_ok"]:
         print("WARNING: request accounting failed for at least one run")
+    if args.drift_gate:
+        ds = payload["drift"]["summary"]
+        print(
+            f"drift gate: {ds['num_windows_priced']} window(s) priced   "
+            f"worst: {ds['worst']} (rel_err="
+            f"{ds['max_rel_err']:.4g})   tolerance: "
+            f"{payload['drift']['tolerance']:g}"
+        )
     with open(args.output, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2)
         fh.write("\n")
@@ -374,6 +395,91 @@ def cmd_chaos(args) -> int:
         print(
             f"chaos timeline ({engine} x {scenario}) written to "
             f"{args.chrome_trace}"
+        )
+    code = 0 if payload["all_accounting_ok"] else 1
+    if args.drift_gate and not payload["all_drift_ok"]:
+        over = payload["drift"]["summary"]["over_tolerance"]
+        print(
+            f"FAULTED SERVING DRIFT: {len(over)} window(s) over tolerance: "
+            f"{', '.join(over)}",
+            file=sys.stderr,
+        )
+        code = 1
+    return code
+
+
+def cmd_fleet_sim(args) -> int:
+    import json
+
+    from repro.bench.fleet import fleet_rows, run_fleet_bench
+    from repro.serving import FLEET_PRESETS, FLEET_SCENARIOS, FleetConfig
+    from repro.serving.simulator import ServingConfig
+
+    presets = None if args.fleet == "all" else (args.fleet,)
+    if args.fleet == "all" and not args.quick:
+        presets = tuple(FLEET_PRESETS)
+    scenarios = (
+        tuple(FLEET_SCENARIOS) if args.scenario == "all" else (args.scenario,)
+    )
+    # Argparse defaults mirror default_fleet_config(), so a flagless
+    # invocation builds the exact config the bench library uses.
+    config = FleetConfig(
+        serving=ServingConfig(max_batch=args.max_batch),
+        migration_budget=args.migration_budget,
+        hedge_after_s=args.hedge_after if args.hedge_after > 0 else None,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown_s=args.breaker_cooldown,
+    )
+    collect_steps = bool(args.chrome_trace or args.metrics_out)
+    payload, results = run_fleet_bench(
+        model_name=args.model,
+        presets=presets,
+        scenarios=scenarios,
+        scheduler=args.scheduler,
+        config=config,
+        quick=args.quick,
+        seed=args.seed,
+        collect_steps=collect_steps,
+    )
+    ran_presets = list(payload["fleets"])
+    print(
+        f"fleets: {', '.join(ran_presets)}   scenarios: "
+        f"{', '.join(scenarios)}   seed: {args.seed}"
+    )
+    print(format_table(fleet_rows(payload), f"fleet-sim: {args.model}"))
+    if not payload["all_accounting_ok"]:
+        print("WARNING: fleet request accounting failed for at least one run")
+    with open(args.output, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"written to {args.output}")
+    if args.metrics_out:
+        from repro.serving import fleet_metrics_registry
+
+        doc = {
+            preset: {
+                scenario: fleet_metrics_registry(result).to_dict()
+                for (p, scenario), result in results.items()
+                if p == preset
+            }
+            for preset in ran_presets
+        }
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"fleet metrics registry written to {args.metrics_out}")
+    if args.chrome_trace:
+        from repro.serving import export_fleet_timeline
+
+        preset = ran_presets[0]
+        scenario = next(
+            (s for s in scenarios if s != "none"), "none"
+        )
+        builder = export_fleet_timeline(results[(preset, scenario)])
+        builder.save(args.chrome_trace)
+        print(
+            f"fleet timeline ({preset} x {scenario}, "
+            f"{builder.num_slices} slices) written to {args.chrome_trace}"
         )
     return 0 if payload["all_accounting_ok"] else 1
 
@@ -557,6 +663,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine", default="all",
         choices=["all", "lm-offload", "flexgen", "zero-inference"],
     )
+    p.add_argument(
+        "--scenario", default=None,
+        choices=["pcie-degrade", "flaky-pcie", "cpu-throttle",
+                 "mem-crunch", "gpu-brownout", "multi-fault"],
+        help="run every engine under this bundled fault scenario "
+        "(windows scaled to each engine's fault-free makespan); the "
+        "payload gains a 'scenario' section",
+    )
     p.add_argument("--chrome-trace", help="also export the request timeline here")
     p.add_argument(
         "--metrics-out",
@@ -615,8 +729,73 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--quick", action="store_true", help="short trace (CI smoke)"
     )
+    p.add_argument(
+        "--drift-gate", action="store_true",
+        help="also re-price every degraded capability window (Eq. 1/2 vs "
+        "the overlapped executor) and fail on drift over tolerance",
+    )
+    p.add_argument(
+        "--drift-tolerance", type=float, default=None,
+        help="max allowed faulted steady-state relative error for "
+        "--drift-gate (default 0.10)",
+    )
     p.add_argument("--output", default="BENCH_chaos.json")
     p.set_defaults(func=cmd_chaos)
+
+    p = sub.add_parser(
+        "fleet-sim",
+        help="multi-replica fleet simulation (crash domains, failover, "
+        "hedges, breakers)",
+    )
+    p.add_argument("--model", default="opt-30b", help="registered model name")
+    p.add_argument(
+        "--fleet", default="all",
+        choices=["all", "uniform-6", "hetero-8", "uniform-16"],
+        help="fleet preset ('all' sweeps every preset; quick mode "
+        "restricts 'all' to uniform-6)",
+    )
+    p.add_argument(
+        "--scenario", default="all",
+        choices=["all", "none", "replica-crash", "domain-outage",
+                 "flaky-replica", "rolling-restart"],
+    )
+    p.add_argument(
+        "--scheduler", default="fcfs",
+        choices=["fcfs", "sjf", "priority", "priority-preempt"],
+    )
+    p.add_argument("--max-batch", type=int, default=64, help="per-replica")
+    p.add_argument(
+        "--migration-budget", type=int, default=2,
+        help="crash/restart displacements a request survives before "
+        "FAILOVER_EXHAUSTED",
+    )
+    p.add_argument(
+        "--hedge-after", type=float, default=20.0,
+        help="hedge a still-token-less request after this many seconds "
+        "(0 disables hedging)",
+    )
+    p.add_argument(
+        "--breaker-threshold", type=int, default=3,
+        help="consecutive aborted steps that trip a replica's breaker "
+        "(0 disables breakers)",
+    )
+    p.add_argument("--breaker-cooldown", type=float, default=10.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--chrome-trace",
+        help="export one run's per-replica fleet timeline here",
+    )
+    p.add_argument(
+        "--metrics-out",
+        help="write the typed metrics-registry JSON (per fleet x scenario) "
+        "here",
+    )
+    p.add_argument(
+        "--quick", action="store_true",
+        help="smallest fleet, short trace (CI smoke)",
+    )
+    p.add_argument("--output", default="BENCH_fleet.json")
+    p.set_defaults(func=cmd_fleet_sim)
 
     p = sub.add_parser(
         "bench-timing", help="time plan()/breakdown()/tab3, write BENCH_timing.json"

@@ -17,6 +17,10 @@ assumption explicit and then lets you break it, deterministically:
   (shrink batch -> quantize harder -> CPU attention -> backpressure) and
   the :class:`FaultStats` event record;
 * :mod:`scenarios` — bundled named scenarios for ``python -m repro chaos``.
+
+Replica-level kinds (``REPLICA_CRASH``/``REPLICA_RESTART``, grouped in
+:data:`REPLICA_KINDS`) extend the vocabulary to whole-replica outages with
+fault-domain correlation; only :mod:`repro.serving.fleet` consumes them.
 """
 
 from repro.faults.degrade import LADDER, DegradationRung, FaultStats
@@ -25,6 +29,7 @@ from repro.faults.retry import RetryPolicy
 from repro.faults.scenarios import SCENARIOS, make_scenario
 from repro.faults.spec import (
     CAPABILITY_KINDS,
+    REPLICA_KINDS,
     FaultKind,
     FaultSchedule,
     FaultSpec,
@@ -33,6 +38,7 @@ from repro.faults.spec import (
 
 __all__ = [
     "CAPABILITY_KINDS",
+    "REPLICA_KINDS",
     "DegradationRung",
     "FaultKind",
     "FaultSchedule",

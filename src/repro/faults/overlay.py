@@ -16,7 +16,9 @@ Composition rules (per device/link, multiplicative across kinds):
 * ``HOST_MEM_SHRINK``               -> cpu ``memory_capacity *= (1 - severity)``
 
 ``TRANSIENT_ERROR`` faults change behaviour (step aborts), not specs, and
-are ignored here.
+are ignored here — as are the replica-level kinds (``REPLICA_CRASH`` /
+``REPLICA_RESTART``), which take whole replicas out of a fleet rather
+than degrading any device.
 """
 
 from __future__ import annotations
@@ -26,7 +28,12 @@ import math
 from typing import Iterable
 
 from repro.errors import FaultError
-from repro.faults.spec import FaultKind, FaultSchedule, FaultSpec
+from repro.faults.spec import (
+    CAPABILITY_KINDS,
+    FaultKind,
+    FaultSchedule,
+    FaultSpec,
+)
 from repro.hardware.platform import Platform
 from repro.perfmodel.notation import HardwareParams
 
@@ -89,9 +96,7 @@ def degraded_platform(
         active = faults.capability_faults(t)
     else:
         active = [
-            f
-            for f in faults
-            if f.active(t) and f.kind is not FaultKind.TRANSIENT_ERROR
+            f for f in faults if f.active(t) and f.kind in CAPABILITY_KINDS
         ]
     if not active:
         return base

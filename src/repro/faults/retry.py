@@ -7,6 +7,13 @@ exceed a later one (property-tested in ``tests/test_faults.py``):
 
     delay(k, u) = min(cap, base * 2^(k-1) * (1 + jitter * u)),  u in [0, 1)
 
+An optional ``max_elapsed_s`` cap bounds the *total* retry horizon: when
+set, a delay is further clamped so ``elapsed + delay <= max_elapsed_s``
+(floored at zero — the per-request budget still terminates the loop).
+The serving layer wires a request deadline through this, so backoff can
+never schedule a retry past the point where the request would be dropped
+anyway — the wait that the drop check would charge is not taken first.
+
 Per-request budgets are separate from the backoff sequence: the backoff
 exponent tracks *consecutive system-level* aborts (and resets on any
 successful step), while each request carries its own lifetime abort count
@@ -28,6 +35,10 @@ class RetryPolicy:
     cap_s: float = 8.0
     jitter: float = 0.1
     limit: int = 3
+    #: Total elapsed-time ceiling for the backoff sequence: ``delay`` is
+    #: additionally clamped so ``elapsed_s + delay`` never exceeds this.
+    #: ``None`` (the default) disables the cap.
+    max_elapsed_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.base_s <= 0:
@@ -49,17 +60,29 @@ class RetryPolicy:
             raise ConfigError(
                 f"retry policy: retry limit must be >= 0 (got {self.limit})"
             )
+        if self.max_elapsed_s is not None and self.max_elapsed_s <= 0:
+            raise ConfigError(
+                f"retry policy: max_elapsed_s must be positive when set "
+                f"(got {self.max_elapsed_s}); use None for no elapsed cap"
+            )
 
-    def delay(self, attempt: int, u: float = 0.0) -> float:
+    def delay(self, attempt: int, u: float = 0.0, elapsed_s: float = 0.0) -> float:
         """Backoff before retry number ``attempt`` (1-based).
 
         ``u`` is the jitter draw in ``[0, 1)`` — pass a seeded uniform for
-        reproducible jitter, 0 for the deterministic floor.
+        reproducible jitter, 0 for the deterministic floor.  ``elapsed_s``
+        is how long the oldest affected request has already been in flight;
+        with ``max_elapsed_s`` set the delay is clamped so the total never
+        exceeds the cap (and never below zero — a zero delay is safe
+        because the per-request budget still terminates retrying).
         """
         if attempt < 1:
             raise ConfigError(f"retry attempt must be >= 1 (got {attempt})")
         raw = self.base_s * (2.0 ** (attempt - 1)) * (1.0 + self.jitter * u)
-        return min(self.cap_s, raw)
+        capped = min(self.cap_s, raw)
+        if self.max_elapsed_s is not None:
+            capped = min(capped, max(0.0, self.max_elapsed_s - elapsed_s))
+        return capped
 
     def check_budget(self, rid: int, attempts: int) -> None:
         """Raise :class:`RetryExhaustedError` when ``attempts`` exceeds the

@@ -13,7 +13,19 @@ Severity conventions (all in ``[0, 1]``):
   ``CORE_LOSS``, ``GPU_THROTTLE``, ``HOST_MEM_SHRINK``) — the *fraction of
   the resource lost*: severity 0.6 on a 32 GB/s link leaves 12.8 GB/s;
 * ``TRANSIENT_ERROR`` — the *per-step abort probability* while the window
-  is active (drawn from the simulator's seeded stream, so runs replay).
+  is active (drawn from the simulator's seeded stream, so runs replay);
+* replica faults (``REPLICA_CRASH``, ``REPLICA_RESTART``) — severity is
+  ignored (use 1.0 by convention): the window *is* the outage.  A crash
+  destroys the replica's in-flight batch and KV state at ``start_s`` and
+  holds it down until ``end_s``; a restart drains gracefully (running
+  work completes, queued work migrates) over the same window.  These
+  kinds only make sense to a fleet (:mod:`repro.serving.fleet`); the
+  single-engine simulator rejects schedules containing them.
+
+Replica-level faults may carry a ``domain`` label: a fleet applies the
+window to *every* replica whose ``fault_domain`` matches (correlated
+failure — one rack, one PDU), or to the whole fleet when ``domain`` is
+``None``.
 
 Faults within a schedule may overlap freely across kinds/targets; two
 faults of the *same kind on the same target* with overlapping windows are
@@ -40,6 +52,8 @@ class FaultKind(enum.Enum):
     GPU_THROTTLE = "gpu_throttle"      # GPU FLOPs/frequency loss
     HOST_MEM_SHRINK = "host_mem_shrink"  # host memory pool shrinkage
     TRANSIENT_ERROR = "transient_error"  # probabilistic step aborts
+    REPLICA_CRASH = "replica_crash"      # replica dies; batch + KV lost
+    REPLICA_RESTART = "replica_restart"  # graceful drain + down window
 
 
 #: Kinds that change hardware capability (and hence the performance model).
@@ -53,6 +67,12 @@ CAPABILITY_KINDS = frozenset(
         FaultKind.HOST_MEM_SHRINK,
     }
 )
+
+#: Kinds that take a whole replica out rather than degrading its hardware.
+#: Only the fleet simulator consumes these; single-engine schedules reject
+#: them (a lone :class:`~repro.serving.ServingSimulator` has nowhere to
+#: fail over to, so silently ignoring the window would misreport results).
+REPLICA_KINDS = frozenset({FaultKind.REPLICA_CRASH, FaultKind.REPLICA_RESTART})
 
 
 @dataclass(frozen=True)
@@ -73,6 +93,11 @@ class FaultSpec:
         for CPU/memory kinds, every GPU for ``GPU_THROTTLE``).
     link:
         ``(end_a, end_b)`` for link kinds (default: every CPU<->GPU link).
+    domain:
+        Fault-domain label for fleet-level kinds: the fleet applies the
+        window to every replica whose ``fault_domain`` matches (``None``
+        hits the whole fleet).  Also honoured on ``TRANSIENT_ERROR`` in
+        fleet schedules; meaningless (and rejected) on capability kinds.
     """
 
     kind: FaultKind
@@ -81,6 +106,7 @@ class FaultSpec:
     severity: float
     device: str | None = None
     link: tuple[str, str] | None = None
+    domain: str | None = None
 
     def __post_init__(self) -> None:
         if self.start_s < 0:
@@ -112,6 +138,20 @@ class FaultSpec:
             raise ConfigError(
                 f"fault {self.kind.value}: link must be a (src, dst) pair"
             )
+        if self.kind in REPLICA_KINDS and (
+            self.device is not None or self.link is not None
+        ):
+            raise ConfigError(
+                f"fault {self.kind.value}: replica-level faults target a "
+                "fault domain (or the whole fleet), not a device or link; "
+                "use the domain field"
+            )
+        if self.domain is not None and self.kind in CAPABILITY_KINDS:
+            raise ConfigError(
+                f"fault {self.kind.value}: capability faults cannot carry a "
+                "fault-domain label — model per-replica hardware degradation "
+                "statically via ReplicaSpec.degradation instead"
+            )
 
     @property
     def end_s(self) -> float:
@@ -125,7 +165,7 @@ class FaultSpec:
     def target_key(self) -> tuple:
         """Identity used for the same-kind overlap check."""
         link = tuple(sorted(self.link)) if self.link else None
-        return (self.kind.value, self.device, link)
+        return (self.kind.value, self.device, link, self.domain)
 
     def to_dict(self) -> dict:
         doc: dict = {
@@ -138,6 +178,8 @@ class FaultSpec:
             doc["device"] = self.device
         if self.link is not None:
             doc["link"] = list(self.link)
+        if self.domain is not None:
+            doc["domain"] = self.domain
         return doc
 
 
@@ -200,6 +242,14 @@ class FaultSchedule:
     def capability_faults(self, t: float) -> list[FaultSpec]:
         """Active faults that change hardware capability at ``t``."""
         return [f for f in self.active(t) if f.kind in CAPABILITY_KINDS]
+
+    def replica_faults(self) -> list[FaultSpec]:
+        """Every replica-level (crash/restart) window in the schedule."""
+        return [f for f in self.faults if f.kind in REPLICA_KINDS]
+
+    @property
+    def has_replica_faults(self) -> bool:
+        return any(f.kind in REPLICA_KINDS for f in self.faults)
 
     def transient_abort_probability(self, t: float) -> float:
         """Combined per-step abort probability at ``t``.

@@ -18,6 +18,13 @@ Fault injection rides on top: pass a
 :class:`ServingSimulator` and the loop gains drift-watchdog replanning,
 the graceful-degradation ladder and retry/backoff semantics — see
 ``python -m repro chaos`` and :mod:`repro.bench.chaos`.
+
+Fleet-scale serving lives in :mod:`repro.serving.fleet`:
+:class:`FleetSimulator` composes N replicas (each a full single-engine
+stack) under a Firmament-style cost router, replica-level crash/restart
+faults with fault-domain correlation, failover migration, hedged
+requests and per-replica circuit breakers — see
+``python -m repro fleet-sim`` and :mod:`repro.bench.fleet`.
 """
 
 from repro.serving.arrivals import (
@@ -31,6 +38,23 @@ from repro.serving.arrivals import (
     trace_from_json,
 )
 from repro.serving.costing import StepCostOracle
+from repro.serving.fleet import (
+    FLEET_PRESETS,
+    FLEET_SCENARIOS,
+    BreakerState,
+    CircuitBreaker,
+    FleetConfig,
+    FleetResult,
+    FleetSimulator,
+    FleetStats,
+    ReplicaResult,
+    ReplicaSpec,
+    compute_fleet_metrics,
+    export_fleet_timeline,
+    fleet_metrics_registry,
+    make_fleet,
+    make_fleet_scenario,
+)
 from repro.serving.metrics import (
     compute_metrics,
     metrics_registry,
@@ -66,6 +90,21 @@ __all__ = [
     "replay_trace",
     "trace_from_json",
     "StepCostOracle",
+    "FLEET_PRESETS",
+    "FLEET_SCENARIOS",
+    "BreakerState",
+    "CircuitBreaker",
+    "FleetConfig",
+    "FleetResult",
+    "FleetSimulator",
+    "FleetStats",
+    "ReplicaResult",
+    "ReplicaSpec",
+    "compute_fleet_metrics",
+    "export_fleet_timeline",
+    "fleet_metrics_registry",
+    "make_fleet",
+    "make_fleet_scenario",
     "compute_metrics",
     "metrics_registry",
     "metrics_row",

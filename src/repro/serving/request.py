@@ -29,6 +29,12 @@ class DropReason(enum.Enum):
     FAULT_ABORT = "fault_abort"
     #: The request burned through its per-request retry budget.
     RETRY_EXHAUSTED = "retry_exhausted"
+    #: Fleet only: a crash/restart displaced the request more times than
+    #: its migration budget allows.
+    FAILOVER_EXHAUSTED = "failover_exhausted"
+    #: Fleet only: no schedulable replica existed when the request needed
+    #: placement (all down, draining, breaker-open or full).
+    REPLICA_LOST = "replica_lost"
 
 
 @dataclass(frozen=True)
@@ -78,6 +84,9 @@ class Request:
     #: Human-readable detail attached to a drop (e.g. the planner error
     #: message behind an INFEASIBLE verdict).
     drop_detail: str | None = None
+    #: Fleet only: times a crash/restart moved this request (or its hedge)
+    #: to another replica.  Always 0 in single-engine runs.
+    migrations: int = 0
     #: Queue re-entries after preemption do not reset ``arrival_s``; the
     #: scheduler keys on this field so FCFS stays stable under preemption.
     queued_since_s: float = field(default=0.0)

@@ -145,11 +145,15 @@ class ServingConfig:
         self.retry_policy()
 
     def retry_policy(self) -> RetryPolicy:
+        # The request deadline doubles as the backoff's total-elapsed cap:
+        # a retry is never scheduled past the point where the deadline
+        # check would drop the request anyway.
         return RetryPolicy(
             base_s=self.backoff_base_s,
             cap_s=self.backoff_cap_s,
             jitter=self.backoff_jitter,
             limit=self.retry_limit,
+            max_elapsed_s=self.request_deadline_s,
         )
 
 
@@ -352,6 +356,69 @@ class ServingResult:
         return [r for r in self.requests if r.state is RequestState.DROPPED]
 
 
+def admit_batch(
+    policy: SchedulerPolicy,
+    oracle: StepCostOracle,
+    queue: AdmissionQueue,
+    running: list[Request],
+    now: float,
+    limit: int,
+) -> list[Request]:
+    """Move requests queue -> GPU per the policy, bounded by slots and
+    by memory feasibility of the enlarged batch.
+
+    Module-level so the fleet simulator's replicas run the exact same
+    admission semantics as :class:`ServingSimulator` (which delegates
+    here) — the 1-replica byte-identity guarantee depends on it.
+    """
+    ordered = queue.ordered_view()
+    candidates = (
+        list(ordered)
+        if ordered is not None
+        else policy.order(list(queue.waiting), now)
+    )
+    admitted: list[Request] = []
+    # The candidate loop needs max(context_len + 1) over running and
+    # admitted at every step; track it incrementally (recomputing the
+    # running part only when preemption removes a victim) instead of
+    # rescanning both lists per candidate.
+    run_ctx = max((r.context_len + 1 for r in running), default=0)
+    adm_ctx = 0
+    for req in candidates:
+        occupied = len(running) + len(admitted)
+        if occupied >= limit:
+            if not (policy.preemptive and running):
+                break
+            victim = policy.victim(running, req)
+            if victim is None:
+                break
+            running.remove(victim)
+            victim.preemptions += 1
+            queue.requeue(victim, now)
+            run_ctx = max((r.context_len + 1 for r in running), default=0)
+        ctx = max(run_ctx, adm_ctx, req.context_len + 1)
+        if not oracle.feasible(len(running) + len(admitted) + 1, ctx):
+            if not running and not admitted:
+                # Even alone this request can never fit: drop it rather
+                # than wedge the loop — carrying the planner's own
+                # error message when planning (not the prescreen) said no.
+                queue.take(req)
+                req.state = RequestState.DROPPED
+                req.drop_s = now
+                req.drop_reason = DropReason.INFEASIBLE
+                req.drop_detail = oracle.last_plan_error(1) or (
+                    f"memory prescreen rejected a singleton batch at "
+                    f"context {ctx}"
+                )
+                queue.dropped.append(req)
+                continue
+            break
+        admitted.append(queue.take(req))
+        if req.context_len + 1 > adm_ctx:
+            adm_ctx = req.context_len + 1
+    return admitted
+
+
 class ServingSimulator:
     """Trace-driven continuous batching on top of one engine."""
 
@@ -367,6 +434,14 @@ class ServingSimulator:
         metrics: MetricsRegistry | None = None,
         collect_steps: bool = True,
     ) -> None:
+        if faults is not None and faults.has_replica_faults:
+            raise ConfigError(
+                f"serving simulator: fault schedule {faults.name!r} contains "
+                "replica-level faults (replica_crash/replica_restart); a "
+                "single engine has nowhere to fail over to, so the window "
+                "would be silently ignored — run it through "
+                "repro.serving.fleet.FleetSimulator instead"
+            )
         self.engine = engine
         self.model = model
         self.trace = trace
@@ -413,56 +488,9 @@ class ServingSimulator:
         now: float,
         limit: int | None = None,
     ) -> list[Request]:
-        """Move requests queue -> GPU per the policy, bounded by slots and
-        by memory feasibility of the enlarged batch."""
         if limit is None:
             limit = self.config.max_batch
-        ordered = queue.ordered_view()
-        candidates = (
-            list(ordered)
-            if ordered is not None
-            else self.policy.order(list(queue.waiting), now)
-        )
-        admitted: list[Request] = []
-        # The candidate loop needs max(context_len + 1) over running and
-        # admitted at every step; track it incrementally (recomputing the
-        # running part only when preemption removes a victim) instead of
-        # rescanning both lists per candidate.
-        run_ctx = max((r.context_len + 1 for r in running), default=0)
-        adm_ctx = 0
-        for req in candidates:
-            occupied = len(running) + len(admitted)
-            if occupied >= limit:
-                if not (self.policy.preemptive and running):
-                    break
-                victim = self.policy.victim(running, req)
-                if victim is None:
-                    break
-                running.remove(victim)
-                victim.preemptions += 1
-                queue.requeue(victim, now)
-                run_ctx = max((r.context_len + 1 for r in running), default=0)
-            ctx = max(run_ctx, adm_ctx, req.context_len + 1)
-            if not self.oracle.feasible(len(running) + len(admitted) + 1, ctx):
-                if not running and not admitted:
-                    # Even alone this request can never fit: drop it rather
-                    # than wedge the loop — carrying the planner's own
-                    # error message when planning (not the prescreen) said no.
-                    queue.take(req)
-                    req.state = RequestState.DROPPED
-                    req.drop_s = now
-                    req.drop_reason = DropReason.INFEASIBLE
-                    req.drop_detail = self.oracle.last_plan_error(1) or (
-                        f"memory prescreen rejected a singleton batch at "
-                        f"context {ctx}"
-                    )
-                    queue.dropped.append(req)
-                    continue
-                break
-            admitted.append(queue.take(req))
-            if req.context_len + 1 > adm_ctx:
-                adm_ctx = req.context_len + 1
-        return admitted
+        return admit_batch(self.policy, self.oracle, queue, running, now, limit)
 
     # -- the loop ----------------------------------------------------------
 
@@ -641,7 +669,8 @@ class ServingSimulator:
             assert stats is not None
             consec_aborts += 1
             end = start + dur
-            delay = retry.delay(consec_aborts, float(rng.random()))
+            elapsed = end - min(r.arrival_s for r in participants)
+            delay = retry.delay(consec_aborts, float(rng.random()), elapsed)
             stats.aborts.append((start, end, kind, len(participants)))
             stats.backoffs.append((end, end + delay, consec_aborts))
             stats.lost_s += dur + delay

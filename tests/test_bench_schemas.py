@@ -1,7 +1,8 @@
 """Golden-schema tests for the committed ``BENCH_*.json`` artifacts.
 
-The four benchmark documents (``BENCH_timing.json``, ``BENCH_serving.json``,
-``BENCH_chaos.json``, ``BENCH_audit.json``) are the repo's public contract
+The five benchmark documents (``BENCH_timing.json``, ``BENCH_serving.json``,
+``BENCH_chaos.json``, ``BENCH_audit.json``, ``BENCH_fleet.json``) are the
+repo's public contract
 with downstream dashboards and the CI gates — a key silently disappearing
 is a breaking change that no numeric tolerance catches.  These tests pin
 the contract three ways:
@@ -39,7 +40,7 @@ import pytest
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 SNAPSHOT_PATH = Path(__file__).resolve().parent / "data" / "bench_schemas.json"
-ARTIFACTS = ("timing", "serving", "chaos", "audit")
+ARTIFACTS = ("timing", "serving", "chaos", "audit", "fleet")
 
 #: The minimum top-level contract of each artifact, independent of the
 #: snapshot (so a wholesale snapshot regeneration cannot hide losing one
@@ -57,6 +58,10 @@ REQUIRED_TOP_LEVEL = {
     "audit": {
         "cases", "e2e_tolerance", "metrics", "quick", "schema_version",
         "summary", "tolerance",
+    },
+    "fleet": {
+        "all_accounting_ok", "config", "fleets", "model", "quick",
+        "scenarios", "scheduler", "schema_version", "seed",
     },
 }
 

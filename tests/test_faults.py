@@ -184,6 +184,22 @@ def test_retry_policy_rejects_cap_below_base():
         RetryPolicy(base_s=2.0, cap_s=1.0)
 
 
+def test_retry_policy_rejects_nonpositive_max_elapsed():
+    with pytest.raises(ConfigError, match="max_elapsed_s"):
+        RetryPolicy(max_elapsed_s=0.0)
+    with pytest.raises(ConfigError, match="max_elapsed_s"):
+        RetryPolicy(max_elapsed_s=-1.0)
+
+
+def test_max_elapsed_clamps_delay_to_remaining_budget():
+    policy = RetryPolicy(base_s=1.0, cap_s=8.0, jitter=0.0, max_elapsed_s=10.0)
+    assert policy.delay(4) == 8.0  # no elapsed time: the plain cap
+    assert policy.delay(4, elapsed_s=7.0) == 3.0  # clamped to remaining
+    assert policy.delay(4, elapsed_s=12.0) == 0.0  # floored, never negative
+    unbounded = RetryPolicy(base_s=1.0, cap_s=8.0, jitter=0.0)
+    assert unbounded.delay(4, elapsed_s=100.0) == 8.0  # None disables it
+
+
 def test_retry_budget_raises_structured_error():
     policy = RetryPolicy(limit=2)
     policy.check_budget(rid=7, attempts=2)
