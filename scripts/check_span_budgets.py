@@ -38,6 +38,11 @@ DEFAULT_BUDGETS: dict[str, float] = {
     #: reference container; the budget guards against the run-length
     #: advance silently degenerating back into a per-step loop.
     "serving.run": 60.0,
+    #: One multi-model co-residency run (scalar loop + swap pricing).
+    #: The quick --models smoke runs nine of these (3 mixes x 3
+    #: schedulers) plus the dedicated baselines in a few seconds on the
+    #: reference container.
+    "serving.multimodel.run": 120.0,
     #: One fleet simulation (N replicas on a shared clock).  The quick
     #: fleet-sim smoke runs six of these (uniform-6 x five scenarios +
     #: baseline) in ~20 s total on the reference container; the budget

@@ -51,6 +51,14 @@ SCENARIO_ORDER = SCENARIO_SWEEP_ORDER
 #: is on.  Matches the faulted drift audit's default.
 DEFAULT_DRIFT_TOLERANCE = 0.10
 
+#: Max relative deviation between a step price the serving loop actually
+#: charged and a fresh engine's price on the exactly-faulted platform at
+#: that instant (the *serving* drift gate).  Looser than the model-level
+#: gate by design: the watchdog deliberately tolerates hardware drift up
+#: to ``ServingConfig.drift_tolerance`` before retargeting, so executed
+#: prices may legitimately be stale by about that much.
+DEFAULT_SERVING_DRIFT_TOLERANCE = 0.15
+
 
 def _accounting(result: ServingResult) -> dict[str, Any]:
     """Conservation check: every arrived request ends in exactly one of
@@ -215,6 +223,196 @@ def _drift_sweep(
     }
 
 
+def _rung_intervals(result: ServingResult) -> list[tuple[float, float]]:
+    """Clock intervals during which a non-nominal degradation rung was
+    engaged, reconstructed from the watchdog's transition log.  Steps
+    executed inside them were priced from a rung-constrained search space
+    a fresh unconstrained engine will not reproduce, so the serving drift
+    gate skips them."""
+    from repro.faults import LADDER
+
+    assert result.fault_stats is not None
+    nominal = LADDER[0].name
+    intervals: list[tuple[float, float]] = []
+    open_since: float | None = None
+    for now, _from_rung, to_rung, _cause in result.fault_stats.transitions:
+        if to_rung != nominal and open_since is None:
+            open_since = now
+        elif to_rung == nominal and open_since is not None:
+            intervals.append((open_since, now))
+            open_since = None
+    if open_since is not None:
+        intervals.append((open_since, result.makespan_s))
+    return intervals
+
+
+def _serving_drift_run(
+    engine_name: str,
+    schedule,
+    result: ServingResult,
+    config: ServingConfig,
+    model_cfg,
+    tolerance: float,
+) -> dict[str, Any]:
+    """Audit one faulted run's *executed* step prices.
+
+    Where the plan-level drift gate prices hypothetical windows, this
+    gate walks the steps the serving loop actually charged, groups them
+    by (fault segment, kind, batch, context bucket), and re-prices each
+    group with a fresh engine retargeted at the exactly-faulted platform
+    of that segment — the price the loop *should* have used if its
+    watchdog were perfectly synchronized.  Deviations beyond the
+    watchdog's deliberate staleness budget indicate the loop served steps
+    at prices the fault overlay cannot justify.
+    """
+    import math
+
+    from repro.errors import ServingError
+    from repro.serving.costing import StepCostOracle
+
+    intervals = _rung_intervals(result)
+
+    def in_degraded(t: float) -> bool:
+        return any(a <= t < b for a, b in intervals)
+
+    # Group executed steps; aborted steps are skipped (their recorded
+    # interval is lost work, priced like the step that would have run —
+    # auditing the completed twin of the same group covers the price).
+    groups: dict[tuple, dict[str, Any]] = {}
+    skipped_degraded = 0
+    bucket = config.ctx_bucket
+    for step in result.steps:
+        if step.kind not in ("prefill", "decode"):
+            continue
+        if in_degraded(step.start_s):
+            skipped_degraded += 1
+            continue
+        ctx_b = max(bucket, math.ceil(step.max_ctx / bucket) * bucket)
+        seg = schedule.segment_key(step.start_s)
+        g = groups.setdefault(
+            (seg, step.kind, step.batch, ctx_b),
+            {"start_s": step.start_s, "steps": 0, "durations": set()},
+        )
+        g["steps"] += 1
+        g["durations"].add(step.duration_s)
+
+    # One reference oracle per fault segment: a fresh engine retargeted
+    # at the overlay's effective platform for that segment.
+    oracles: dict[tuple, StepCostOracle] = {}
+    max_prompt = max((r.prompt_len for r in result.requests), default=64)
+    max_gen = max((r.gen_len for r in result.requests), default=32)
+    windows: list[dict[str, Any]] = []
+    max_err = 0.0
+    over = 0
+    for key in sorted(groups, key=lambda k: (groups[k]["start_s"], k[1], k[2], k[3])):
+        seg, kind, batch, ctx_b = key
+        g = groups[key]
+        if seg not in oracles:
+            engine = _make_engine(engine_name)
+            engine.retarget(
+                engine.platform.with_faults(schedule, g["start_s"])
+            )
+            oracles[seg] = StepCostOracle(
+                engine=engine,
+                model=model_cfg,
+                num_gpu_batches=config.num_gpu_batches,
+                ctx_bucket=config.ctx_bucket,
+                plan_prompt_len=max_prompt,
+                plan_gen_len=max_gen,
+            )
+        oracle = oracles[seg]
+        record: dict[str, Any] = {
+            "kind": kind,
+            "batch": batch,
+            "ctx_bucket": ctx_b,
+            "start_s": g["start_s"],
+            "steps": g["steps"],
+        }
+        try:
+            if kind == "prefill":
+                ref = oracle.prefill_seconds(batch, ctx_b)
+            else:
+                ref = oracle.decode_step_seconds(batch, ctx_b)
+        except ServingError as exc:
+            # The exactly-faulted platform cannot plan this level at all:
+            # a capacity verdict (the loop was running on a tolerably
+            # stale plan), recorded but not counted as price drift.
+            record["plannable"] = False
+            record["plan_error"] = str(exc)
+            windows.append(record)
+            continue
+        err = max(
+            abs(dur - ref) / ref for dur in g["durations"]
+        ) if ref > 0 else 0.0
+        record.update(
+            {
+                "plannable": True,
+                "reference_s": ref,
+                "executed_s": sorted(g["durations"]),
+                "rel_err": err,
+            }
+        )
+        windows.append(record)
+        max_err = max(max_err, err)
+        if err > tolerance:
+            over += 1
+    return {
+        "num_step_groups": len(windows),
+        "skipped_degraded_steps": skipped_degraded,
+        "max_rel_err": max_err,
+        "over_tolerance": over,
+        "windows": windows,
+    }
+
+
+def _serving_drift_sweep(
+    engines: tuple[str, ...],
+    schedules: dict[tuple[str, str], Any],
+    scenarios: tuple[str, ...],
+    results: dict[tuple[str, str], ServingResult],
+    config: ServingConfig,
+    model_name: str,
+    tolerance: float,
+) -> dict[str, Any]:
+    """The serving-drift payload section: every faulted run's executed
+    steps audited against freshly-priced faulted platforms."""
+    model_cfg = get_model(model_name)
+    doc_engines: dict[str, Any] = {}
+    over: list[str] = []
+    worst_ref: tuple[float, str] | None = None
+    priced = 0
+    for engine_name in engines:
+        doc_scenarios: dict[str, Any] = {}
+        for scenario_name in scenarios:
+            run = _serving_drift_run(
+                engine_name,
+                schedules[(engine_name, scenario_name)],
+                results[(engine_name, scenario_name)],
+                config,
+                model_cfg,
+                tolerance,
+            )
+            doc_scenarios[scenario_name] = run
+            priced += sum(1 for w in run["windows"] if w.get("plannable"))
+            ref = f"{engine_name}/{scenario_name}"
+            if run["over_tolerance"]:
+                over.append(ref)
+            if worst_ref is None or (run["max_rel_err"], ref) > worst_ref:
+                worst_ref = (run["max_rel_err"], ref)
+        doc_engines[engine_name] = doc_scenarios
+    return {
+        "tolerance": tolerance,
+        "engines": doc_engines,
+        "summary": {
+            "num_step_groups_priced": priced,
+            "max_rel_err": worst_ref[0] if worst_ref is not None else 0.0,
+            "worst": worst_ref[1] if worst_ref is not None else None,
+            "over_tolerance": sorted(over),
+            "ok": not over,
+        },
+    }
+
+
 def run_chaos(
     model_name: str = "opt-30b",
     trace: RequestTrace | None = None,
@@ -226,6 +424,8 @@ def run_chaos(
     seed: int = 0,
     drift_gate: bool = False,
     drift_tolerance: float = DEFAULT_DRIFT_TOLERANCE,
+    serving_drift_gate: bool = False,
+    serving_drift_tolerance: float = DEFAULT_SERVING_DRIFT_TOLERANCE,
 ) -> tuple[dict[str, Any], dict[tuple[str, str], ServingResult]]:
     """Every engine x every scenario (+ a fault-free baseline per engine).
 
@@ -239,6 +439,14 @@ def run_chaos(
     at ``drift_tolerance``.  The payload gains ``"drift"`` and
     ``"all_drift_ok"`` sections (absent otherwise, so the default
     payload stays byte-identical).
+
+    ``serving_drift_gate=True`` adds the *executed-step* audit: every
+    faulted run's completed prefill/decode prices are grouped by (fault
+    segment, kind, batch, context bucket) and re-priced by a fresh
+    engine retargeted at the exactly-faulted platform, checked at
+    ``serving_drift_tolerance`` (looser than the plan gate: the watchdog
+    legitimately serves on plans up to ``config.drift_tolerance`` stale).
+    Adds ``"serving_drift"`` / ``"all_serving_drift_ok"`` sections.
     """
     trace = trace or default_trace(quick=quick, seed=seed)
     config = config or ServingConfig()
@@ -328,6 +536,12 @@ def run_chaos(
             engines, schedules, scenarios, config, model_name, drift_tolerance
         )
         payload["all_drift_ok"] = payload["drift"]["summary"]["ok"]
+    if serving_drift_gate:
+        payload["serving_drift"] = _serving_drift_sweep(
+            engines, schedules, scenarios, results, config, model_name,
+            serving_drift_tolerance,
+        )
+        payload["all_serving_drift_ok"] = payload["serving_drift"]["summary"]["ok"]
     return payload, results
 
 

@@ -185,6 +185,54 @@ def cmd_whatif(args) -> int:
     return 0
 
 
+def _serve_sim_models(args) -> int:
+    """Multi-model mode: dedicated-vs-coresident comparison per mix."""
+    import json
+
+    from repro.bench.multimodel import multimodel_rows, run_multimodel_bench
+    from repro.serving.simulator import ServingConfig
+
+    if args.arrival != "poisson" or args.trace_file:
+        raise ConfigError(
+            "serve-sim: --models generates its own tagged traffic mixes; "
+            "drop --arrival/--trace-file"
+        )
+    if args.chrome_trace or args.metrics_out or args.scenario:
+        raise ConfigError(
+            "serve-sim: --models does not support --chrome-trace, "
+            "--metrics-out or --scenario"
+        )
+    config = ServingConfig(
+        max_batch=args.max_batch,
+        num_gpu_batches=args.num_batches,
+        queue_capacity=args.queue_capacity,
+        queue_timeout_s=args.queue_timeout,
+        ttft_slo_s=args.ttft_slo,
+        tpot_slo_s=args.tpot_slo,
+    )
+    engine = "lm-offload" if args.engine == "all" else args.engine
+    payload = run_multimodel_bench(
+        preset=args.models,
+        engine=engine,
+        config=config,
+        quick=args.quick,
+        seed=args.seed,
+    )
+    print(f"models: {', '.join(payload['models'])}   engine: {engine}   "
+          f"seed: {args.seed}")
+    print(format_table(multimodel_rows(payload),
+                       f"serve-sim --models {args.models}"))
+    output = (
+        args.output if args.output != "BENCH_serving.json"
+        else "BENCH_multimodel.json"
+    )
+    with open(output, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"written to {output}")
+    return 0
+
+
 def cmd_serve_sim(args) -> int:
     import json
 
@@ -200,6 +248,8 @@ def cmd_serve_sim(args) -> int:
     )
     from repro.serving.simulator import ServingConfig
 
+    if args.models:
+        return _serve_sim_models(args)
     lengths = LengthSampler(
         prompt_mean=args.prompt_mean, gen_mean=args.gen_mean, max_len=args.max_len
     )
@@ -230,10 +280,10 @@ def cmd_serve_sim(args) -> int:
         tpot_slo_s=args.tpot_slo,
     )
     engines = tuple(ENGINES) if args.engine == "all" else (args.engine,)
-    if args.no_steps and (args.metrics_out or args.chrome_trace):
+    if args.no_steps and args.chrome_trace:
         raise ConfigError(
             "serve-sim: --no-steps discards the per-step records that "
-            "--metrics-out/--chrome-trace export; drop one of the flags"
+            "--chrome-trace exports; drop one of the flags"
         )
     payload, results = run_serving_comparison(
         model_name=args.model,
@@ -242,7 +292,11 @@ def cmd_serve_sim(args) -> int:
         config=config,
         engines=engines,
         seed=args.seed,
-        collect_timeseries=bool(args.metrics_out or args.chrome_trace),
+        # Live time-series sampling forces a per-step advance; under
+        # --no-steps (the throughput mode) the registry export falls back
+        # to the aggregate-derived series instead of the curve.* samples.
+        collect_timeseries=bool(args.metrics_out or args.chrome_trace)
+        and not args.no_steps,
         collect_steps=not args.no_steps,
         scenario=args.scenario,
     )
@@ -340,7 +394,10 @@ def cmd_chaos(args) -> int:
         backoff_cap_s=args.backoff_cap,
         request_deadline_s=args.deadline,
     )
-    from repro.bench.chaos import DEFAULT_DRIFT_TOLERANCE
+    from repro.bench.chaos import (
+        DEFAULT_DRIFT_TOLERANCE,
+        DEFAULT_SERVING_DRIFT_TOLERANCE,
+    )
 
     payload, results = run_chaos(
         model_name=args.model,
@@ -356,6 +413,12 @@ def cmd_chaos(args) -> int:
             if args.drift_tolerance is not None
             else DEFAULT_DRIFT_TOLERANCE
         ),
+        serving_drift_gate=args.serving_drift_gate,
+        serving_drift_tolerance=(
+            args.serving_drift_tolerance
+            if args.serving_drift_tolerance is not None
+            else DEFAULT_SERVING_DRIFT_TOLERANCE
+        ),
     )
     print(f"trace: {trace.describe()}   seed: {args.seed}")
     print(format_table(chaos_rows(payload), f"chaos: {args.model}"))
@@ -368,6 +431,14 @@ def cmd_chaos(args) -> int:
             f"worst: {ds['worst']} (rel_err="
             f"{ds['max_rel_err']:.4g})   tolerance: "
             f"{payload['drift']['tolerance']:g}"
+        )
+    if args.serving_drift_gate:
+        ss = payload["serving_drift"]["summary"]
+        print(
+            f"serving drift gate: {ss['num_step_groups_priced']} step "
+            f"group(s) priced   worst: {ss['worst']} (rel_err="
+            f"{ss['max_rel_err']:.4g})   tolerance: "
+            f"{payload['serving_drift']['tolerance']:g}"
         )
     with open(args.output, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2)
@@ -401,6 +472,14 @@ def cmd_chaos(args) -> int:
         over = payload["drift"]["summary"]["over_tolerance"]
         print(
             f"FAULTED SERVING DRIFT: {len(over)} window(s) over tolerance: "
+            f"{', '.join(over)}",
+            file=sys.stderr,
+        )
+        code = 1
+    if args.serving_drift_gate and not payload["all_serving_drift_ok"]:
+        over = payload["serving_drift"]["summary"]["over_tolerance"]
+        print(
+            f"EXECUTED-STEP DRIFT: {len(over)} run(s) over tolerance: "
             f"{', '.join(over)}",
             file=sys.stderr,
         )
@@ -636,6 +715,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--model", default="opt-30b", help="registered model name")
     p.add_argument(
+        "--models", default=None,
+        help="multi-model mode: a preset (opt-duo, opt-trio) or "
+        "comma-separated model ids co-resident on one platform; runs the "
+        "dedicated-vs-coresident comparison across traffic mixes and "
+        "writes BENCH_multimodel.json",
+    )
+    p.add_argument(
         "--arrival", default="poisson", choices=["poisson", "bursty", "replay"]
     )
     p.add_argument("--rate", type=float, default=2.0, help="arrivals/s (base rate)")
@@ -650,7 +736,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace-file", help="JSON trace to replay (--arrival replay)")
     p.add_argument(
         "--scheduler", default="fcfs",
-        choices=["fcfs", "sjf", "priority", "priority-preempt"],
+        choices=["fcfs", "sjf", "priority", "priority-preempt", "sjf-predict"],
     )
     p.add_argument("--max-batch", type=int, default=64)
     p.add_argument("--num-batches", type=int, default=1, help="zig-zag batches")
@@ -682,7 +768,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--no-steps", action="store_true",
         help="skip per-step record retention (fastest; summary metrics "
-        "are byte-identical, but timeline/metrics export needs steps)",
+        "and the aggregate-derived metrics registry are byte-identical, "
+        "but --chrome-trace needs steps)",
     )
     p.add_argument("--output", default="BENCH_serving.json")
     p.set_defaults(func=cmd_serve_sim)
@@ -738,6 +825,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--drift-tolerance", type=float, default=None,
         help="max allowed faulted steady-state relative error for "
         "--drift-gate (default 0.10)",
+    )
+    p.add_argument(
+        "--serving-drift-gate", action="store_true",
+        help="re-price the *executed* serving steps of each faulted run "
+        "against a fresh fault-retargeted engine and fail on drift over "
+        "tolerance (degraded-rung intervals are skipped)",
+    )
+    p.add_argument(
+        "--serving-drift-tolerance", type=float, default=None,
+        help="max allowed relative step-cost error for "
+        "--serving-drift-gate (default 0.15; looser than --drift-gate "
+        "because the watchdog legitimately serves briefly-stale plans)",
     )
     p.add_argument("--output", default="BENCH_chaos.json")
     p.set_defaults(func=cmd_chaos)

@@ -25,6 +25,13 @@ stack) under a Firmament-style cost router, replica-level crash/restart
 faults with fault-domain correlation, failover migration, hedged
 requests and per-replica circuit breakers — see
 ``python -m repro fleet-sim`` and :mod:`repro.bench.fleet`.
+
+Multi-model co-residency lives in :mod:`repro.serving.multimodel`:
+:class:`MultiModelSimulator` time-shares one platform between K models
+(swaps priced as weight bytes over the faultable PCIe link) under
+swap-on-idle, cross-model preemption, or predicted-SJF driven by the
+learned length predictor in :mod:`repro.serving.predictor` — see
+``python -m repro serve-sim --models`` and :mod:`repro.bench.multimodel`.
 """
 
 from repro.serving.arrivals import (
@@ -61,12 +68,30 @@ from repro.serving.metrics import (
     metrics_row,
     nearest_rank,
 )
+from repro.serving.multimodel import (
+    MODEL_PRESETS,
+    SLO_CLASSES,
+    ModelSlot,
+    MultiModelResult,
+    MultiModelSimulator,
+    SwapRecord,
+    make_slots,
+    multimodel_registry,
+    slot_summary,
+)
 from repro.serving.policies import (
     FCFSPolicy,
+    PredictedSJFPolicy,
     PriorityPolicy,
     SchedulerPolicy,
     SJFPolicy,
     make_policy,
+)
+from repro.serving.predictor import (
+    BucketedQuantilePredictor,
+    LengthPredictor,
+    OracleLengthPredictor,
+    make_predictor,
 )
 from repro.serving.queue import AdmissionQueue
 from repro.serving.request import DropReason, Request, RequestSpec, RequestState
@@ -109,11 +134,25 @@ __all__ = [
     "metrics_registry",
     "metrics_row",
     "nearest_rank",
+    "MODEL_PRESETS",
+    "SLO_CLASSES",
+    "ModelSlot",
+    "MultiModelResult",
+    "MultiModelSimulator",
+    "SwapRecord",
+    "make_slots",
+    "multimodel_registry",
+    "slot_summary",
     "FCFSPolicy",
+    "PredictedSJFPolicy",
     "PriorityPolicy",
     "SchedulerPolicy",
     "SJFPolicy",
     "make_policy",
+    "BucketedQuantilePredictor",
+    "LengthPredictor",
+    "OracleLengthPredictor",
+    "make_predictor",
     "AdmissionQueue",
     "DropReason",
     "Request",

@@ -87,6 +87,20 @@ class RequestTrace:
             f"{self.horizon_s:.1f}s ({self.total_tokens} prompt+gen tokens)"
         )
 
+    @property
+    def models(self) -> tuple[str, ...]:
+        """Distinct model tags appearing in the trace (sorted; empty tags
+        excluded — an untagged trace reports ``()``)."""
+        return tuple(sorted({r.model for r in self.requests if r.model}))
+
+    def for_model(self, model: str) -> "RequestTrace":
+        """The sub-trace of requests tagged ``model`` (arrival order kept)."""
+        return RequestTrace(
+            name=f"{self.name}[{model}]",
+            requests=tuple(r for r in self.requests if r.model == model),
+            horizon_s=self.horizon_s,
+        )
+
     def to_json(self, indent: int | None = 2) -> str:
         doc = {
             "name": self.name,
@@ -97,6 +111,9 @@ class RequestTrace:
                     "prompt_len": r.prompt_len,
                     "gen_len": r.gen_len,
                     "priority": r.priority,
+                    # The model tag is serialized only when set, so every
+                    # pre-multi-model trace file stays byte-identical.
+                    **({"model": r.model} if r.model else {}),
                 }
                 for r in self.requests
             ],
@@ -193,6 +210,77 @@ def mmpp_trace(
     )
 
 
+def multimodel_trace(
+    rates: dict[str, float],
+    horizon_s: float,
+    seed: int = 0,
+    lengths: dict[str, LengthSampler] | LengthSampler | None = None,
+    priority_levels: dict[str, int] | int = 1,
+    priorities: dict[str, int] | None = None,
+    name: str | None = None,
+) -> RequestTrace:
+    """Superpose one Poisson stream per model into a single tagged trace.
+
+    ``rates`` maps model name -> arrivals/s.  Each model draws from its
+    *own* seeded stream (keyed by the model name), so adding a model to
+    the mix never perturbs the other models' arrivals — the dedicated-
+    replica baseline and the co-resident run replay literally the same
+    per-model requests.  Streams are merged in arrival order with ties
+    broken by model name (a total order, so the merge is deterministic).
+
+    ``priorities`` gives each model a fixed priority base added to the
+    (optionally random) per-request level — the "SLO class as priority"
+    idiom a preemptive scheduler keys cross-model eviction on.
+    """
+    if horizon_s <= 0:
+        raise ServingError("multimodel_trace: horizon must be positive")
+    if not rates:
+        raise ServingError("multimodel_trace: at least one model rate required")
+    for model, rate in rates.items():
+        if rate <= 0:
+            raise ServingError(
+                f"multimodel_trace: rate for {model!r} must be positive "
+                f"(got {rate:g})"
+            )
+    merged: list[RequestSpec] = []
+    for model in sorted(rates):
+        rng = seeded_rng(seed, "serving", "multimodel", model)
+        sampler = (
+            lengths.get(model, LengthSampler())
+            if isinstance(lengths, dict)
+            else (lengths or LengthSampler())
+        )
+        levels = (
+            priority_levels.get(model, 1)
+            if isinstance(priority_levels, dict)
+            else priority_levels
+        )
+        base_priority = (priorities or {}).get(model, 0)
+        rate = rates[model]
+        n_max = max(16, int(rate * horizon_s * 3) + 16)
+        times = np.cumsum(rng.exponential(1.0 / rate, size=n_max))
+        times = times[times < horizon_s]
+        for spec in _specs_from_times(times, sampler, rng, levels):
+            merged.append(
+                RequestSpec(
+                    arrival_s=spec.arrival_s,
+                    prompt_len=spec.prompt_len,
+                    gen_len=spec.gen_len,
+                    priority=base_priority + spec.priority,
+                    model=model,
+                )
+            )
+    merged.sort(key=lambda r: (r.arrival_s, r.model))
+    return RequestTrace(
+        name=name
+        or "multimodel("
+        + ",".join(f"{m}={rates[m]:g}" for m in sorted(rates))
+        + ")",
+        requests=tuple(merged),
+        horizon_s=horizon_s,
+    )
+
+
 def replay_trace(
     entries: list[tuple[float, int, int] | tuple[float, int, int, int]],
     horizon_s: float | None = None,
@@ -223,6 +311,7 @@ def trace_from_json(text: str) -> RequestTrace:
                 prompt_len=int(r["prompt_len"]),
                 gen_len=int(r["gen_len"]),
                 priority=int(r.get("priority", 0)),
+                model=str(r.get("model", "")),
             )
             for r in sorted(doc["requests"], key=lambda r: r["arrival_s"])
         )

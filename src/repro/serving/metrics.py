@@ -60,7 +60,10 @@ def compute_metrics(result: ServingResult) -> dict[str, Any]:
     e2e = [r.e2e_s for r in finished if r.e2e_s is not None]
 
     slo_ok = [r for r in finished if r.meets_slo(cfg.ttft_slo_s, cfg.tpot_slo_s)]
-    makespan = result.makespan_s or 1.0
+    # A zero makespan (empty trace, or every request dropped before a
+    # single step ran) has no rate: report 0.0 explicitly rather than
+    # dividing by a phantom second.
+    makespan = result.makespan_s
     gen_tokens = sum(r.tokens_done for r in result.requests)
 
     drop_counts: dict[str, int] = {}
@@ -96,11 +99,11 @@ def compute_metrics(result: ServingResult) -> dict[str, Any]:
             "attainment": (len(slo_ok) / len(result.requests))
             if result.requests
             else 0.0,
-            "goodput_rps": len(slo_ok) / makespan,
+            "goodput_rps": len(slo_ok) / makespan if makespan > 0 else 0.0,
         },
         "throughput": {
-            "tokens_per_s": gen_tokens / makespan,
-            "requests_per_s": len(finished) / makespan,
+            "tokens_per_s": gen_tokens / makespan if makespan > 0 else 0.0,
+            "requests_per_s": len(finished) / makespan if makespan > 0 else 0.0,
         },
         "queue_depth": {
             "mean_waiting": (
@@ -151,8 +154,24 @@ def metrics_registry(result: ServingResult) -> MetricsRegistry:
         ):
             if value is not None:
                 reg.histogram(f"latency.{name}").observe(value)
+    # Step counters and queue/batch summaries come from the loop's running
+    # aggregates — exact integer sums and maxima, byte-identical whether
+    # per-step records were retained or not.  (They used to be derived by
+    # iterating ``result.steps`` / ``result.queue_depth``, which are empty
+    # under ``collect_steps=False``, so ``serve-sim --no-steps
+    # --metrics-out`` silently dropped every ``steps.*`` and ``queue.*``
+    # series while the metrics document still reported them.)
+    agg = result.aggregates
+    for kind in sorted(agg.step_counts):
+        reg.counter(f"steps.{kind}").inc(agg.step_counts[kind])
+    if agg.depth_samples:
+        reg.gauge("batch.max").set(agg.max_batch)
+        reg.gauge("queue.max_waiting").set(agg.max_waiting)
+        reg.gauge("queue.mean_waiting").set(agg.waiting_sum / agg.depth_samples)
+        reg.gauge("queue.max_in_system").set(agg.max_in_system)
+    # Per-step distributions and trajectories genuinely need the retained
+    # records; they are emitted only when the run kept them.
     for step in result.steps:
-        reg.counter(f"steps.{step.kind}").inc()
         reg.histogram(f"step_duration_s.{step.kind}").observe(step.duration_s)
         reg.gauge("batch").set(step.batch)
     for _, waiting, running in result.queue_depth:

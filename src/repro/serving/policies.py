@@ -11,8 +11,13 @@ order and replays are byte-identical.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.errors import ServingError
 from repro.serving.request import Request
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serving.predictor import LengthPredictor
 
 
 class SchedulerPolicy:
@@ -100,6 +105,37 @@ class PriorityPolicy(SchedulerPolicy):
         return None
 
 
+class PredictedSJFPolicy(SchedulerPolicy):
+    """Shortest-job-first ranked by a length *predictor*, not the oracle.
+
+    The ranking is ``(predictor.predict(req), arrival_s, rid)``.  With
+    :class:`~repro.serving.predictor.OracleLengthPredictor` this is
+    exactly :class:`SJFPolicy` (`predict` returns ``remaining_tokens`` as
+    a float; int→float conversion is exact for token counts, so the sort
+    is identical).  With a learned predictor the ranking can change as the
+    predictor observes completions, so the queue cannot be kept pre-sorted
+    incrementally: ``static_order`` follows ``predictor.learned``.
+    """
+
+    name = "sjf-predict"
+
+    def __init__(self, predictor: "LengthPredictor | None" = None) -> None:
+        from repro.serving.predictor import OracleLengthPredictor
+
+        self.predictor = predictor or OracleLengthPredictor()
+        self.static_order = not self.predictor.learned
+        self.name = f"sjf-predict({self.predictor.name})"
+
+    def sort_key(self, req: Request) -> tuple:
+        return (self.predictor.predict(req), req.arrival_s, req.rid)
+
+    def order(self, waiting: list[Request], now: float) -> list[Request]:
+        return sorted(
+            waiting,
+            key=lambda r: (self.predictor.predict(r), r.arrival_s, r.rid),
+        )
+
+
 def make_policy(name: str) -> SchedulerPolicy:
     """Policy factory for CLI/bench use."""
     policies: dict[str, type[SchedulerPolicy] | None] = {
@@ -112,7 +148,11 @@ def make_policy(name: str) -> SchedulerPolicy:
         return PriorityPolicy(preempt=False)
     if name == "priority-preempt":
         return PriorityPolicy(preempt=True)
+    if name == "sjf-predict":
+        from repro.serving.predictor import BucketedQuantilePredictor
+
+        return PredictedSJFPolicy(BucketedQuantilePredictor())
     raise ServingError(
         f"unknown scheduler policy {name!r}; expected one of "
-        "fcfs, sjf, priority, priority-preempt"
+        "fcfs, sjf, priority, priority-preempt, sjf-predict"
     )

@@ -101,7 +101,23 @@ class AdmissionQueue:
             if self._order_key(self._ordered[idx]) != key:
                 break
             idx += 1
-        self._ordered.remove(req)
+        # Last resort: an identity scan over the whole view.  The old
+        # fallback was ``self._ordered.remove(req)``, which compares
+        # mutable ``Request`` dataclasses by *value* — under a stale sort
+        # key it could delete a different request that happened to look
+        # equal, silently corrupting the ordered view.  A request that is
+        # genuinely absent means the index and ``waiting`` have already
+        # diverged; fail loudly instead of papering over it.
+        for i, entry in enumerate(self._ordered):
+            if entry is req:
+                del self._ordered[i]
+                return
+        raise ServingError(
+            f"admission queue ordered view lost request rid={req.rid}: the "
+            "policy sort key changed while the request was queued (keys "
+            "must be constant for waiting requests) or the view was "
+            "mutated externally"
+        )
 
     def _heap_push(self, req: Request) -> None:
         if self.use_heap and self.timeout_s is not None and req.tokens_done == 0:

@@ -39,12 +39,19 @@ class DropReason(enum.Enum):
 
 @dataclass(frozen=True)
 class RequestSpec:
-    """One trace entry: arrival time + sequence shape (+ priority)."""
+    """One trace entry: arrival time + sequence shape (+ priority).
+
+    ``model`` tags the request with the model it must be served by
+    (multi-model serving); the empty string — the default, and the only
+    value single-model traces ever carry — means "whatever model the
+    simulator serves", keeping every pre-multi-model trace byte-identical.
+    """
 
     arrival_s: float
     prompt_len: int
     gen_len: int
     priority: int = 0
+    model: str = ""
 
     def __post_init__(self) -> None:
         from repro.errors import ServingError
@@ -69,6 +76,9 @@ class Request:
     prompt_len: int
     gen_len: int
     priority: int = 0
+    #: Model this request targets (multi-model serving); "" in
+    #: single-model runs.
+    model: str = ""
 
     state: RequestState = RequestState.QUEUED
     admit_s: float | None = None
@@ -99,6 +109,7 @@ class Request:
             prompt_len=spec.prompt_len,
             gen_len=spec.gen_len,
             priority=spec.priority,
+            model=spec.model,
             queued_since_s=spec.arrival_s,
         )
 

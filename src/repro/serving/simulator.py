@@ -262,6 +262,9 @@ class ServingAggregates:
     waiting_sum: int = 0
     max_waiting: int = 0
     max_in_system: int = 0
+    #: Largest step batch observed — lets the metrics registry report a
+    #: batch series without retaining per-step records.
+    max_batch: int = 0
 
     def count_steps(self, kind: str, count: int) -> None:
         self.step_counts[kind] = self.step_counts.get(kind, 0) + count
@@ -271,6 +274,8 @@ class ServingAggregates:
     ) -> None:
         self.depth_samples += count
         self.waiting_sum += waiting * count
+        if batch > self.max_batch:
+            self.max_batch = batch
         if waiting > self.max_waiting:
             self.max_waiting = waiting
         if count > 1 and waiting + batch > self.max_in_system:
@@ -363,6 +368,7 @@ def admit_batch(
     running: list[Request],
     now: float,
     limit: int,
+    candidates: list[Request] | None = None,
 ) -> list[Request]:
     """Move requests queue -> GPU per the policy, bounded by slots and
     by memory feasibility of the enlarged batch.
@@ -370,13 +376,19 @@ def admit_batch(
     Module-level so the fleet simulator's replicas run the exact same
     admission semantics as :class:`ServingSimulator` (which delegates
     here) — the 1-replica byte-identity guarantee depends on it.
+
+    ``candidates`` overrides the admission view: a policy-ordered subset
+    of ``queue.waiting`` to consider (the multi-model simulator passes
+    only the resident model's requests).  ``None`` — every single-model
+    caller — reads the queue's pre-sorted view or re-sorts, as before.
     """
-    ordered = queue.ordered_view()
-    candidates = (
-        list(ordered)
-        if ordered is not None
-        else policy.order(list(queue.waiting), now)
-    )
+    if candidates is None:
+        ordered = queue.ordered_view()
+        candidates = (
+            list(ordered)
+            if ordered is not None
+            else policy.order(list(queue.waiting), now)
+        )
     admitted: list[Request] = []
     # The candidate loop needs max(context_len + 1) over running and
     # admitted at every step; track it incrementally (recomputing the
@@ -461,6 +473,11 @@ class ServingSimulator:
         #: record-keeping for maximum throughput; everything derived from
         #: aggregates — ``compute_metrics`` included — is byte-identical.
         self.collect_steps = collect_steps
+        #: Length predictor riding on the policy (PredictedSJFPolicy): the
+        #: loop feeds it every completed request so it learns online.  The
+        #: oracle predictor's ``observe`` is a no-op, and policies without
+        #: a predictor skip the hook entirely — byte-identical either way.
+        self._predictor = getattr(self.policy, "predictor", None)
         #: Chaos mode is engaged only by a non-empty schedule; an empty
         #: one (``zero_schedule()``) runs the exact fault-free code path.
         self._chaos = faults is not None and len(faults.faults) > 0
@@ -584,6 +601,8 @@ class ServingSimulator:
                 t, float(rung_idx) if chaos else 0.0
             )
 
+        predictor = self._predictor
+
         def finish_token(req: Request, now: float) -> bool:
             """Credit one generated token; True when the request completed."""
             req.tokens_done += 1
@@ -592,6 +611,8 @@ class ServingSimulator:
             if req.tokens_done >= req.gen_len:
                 req.state = RequestState.FINISHED
                 req.finish_s = now
+                if predictor is not None:
+                    predictor.observe(req)
                 return True
             return False
 
@@ -841,6 +862,8 @@ class ServingSimulator:
                                 # completion bookkeeping remains.
                                 r.state = RequestState.FINISHED
                                 r.finish_s = t
+                                if predictor is not None:
+                                    predictor.observe(r)
                             else:
                                 survivors.append(r)
                         running = survivors

@@ -1,8 +1,8 @@
 """Golden-schema tests for the committed ``BENCH_*.json`` artifacts.
 
-The five benchmark documents (``BENCH_timing.json``, ``BENCH_serving.json``,
-``BENCH_chaos.json``, ``BENCH_audit.json``, ``BENCH_fleet.json``) are the
-repo's public contract
+The six benchmark documents (``BENCH_timing.json``, ``BENCH_serving.json``,
+``BENCH_chaos.json``, ``BENCH_audit.json``, ``BENCH_fleet.json``,
+``BENCH_multimodel.json``) are the repo's public contract
 with downstream dashboards and the CI gates — a key silently disappearing
 is a breaking change that no numeric tolerance catches.  These tests pin
 the contract three ways:
@@ -40,7 +40,7 @@ import pytest
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 SNAPSHOT_PATH = Path(__file__).resolve().parent / "data" / "bench_schemas.json"
-ARTIFACTS = ("timing", "serving", "chaos", "audit", "fleet")
+ARTIFACTS = ("timing", "serving", "chaos", "audit", "fleet", "multimodel")
 
 #: The minimum top-level contract of each artifact, independent of the
 #: snapshot (so a wholesale snapshot regeneration cannot hide losing one
@@ -62,6 +62,10 @@ REQUIRED_TOP_LEVEL = {
     "fleet": {
         "all_accounting_ok", "config", "fleets", "model", "quick",
         "scenarios", "scheduler", "schema_version", "seed",
+    },
+    "multimodel": {
+        "config", "engine", "mixes", "models", "preset", "schema_version",
+        "seed", "slo_classes",
     },
 }
 
@@ -168,6 +172,30 @@ def quick_audit_payload():
     from repro.obs.audit import run_audit
 
     return run_audit(quick=True)
+
+
+def test_quick_multimodel_payload_keeps_contract_and_is_deterministic():
+    from repro.bench.multimodel import CORESIDENT_SCHEDULERS, run_multimodel_bench
+
+    kwargs = dict(
+        preset="opt-1.3b,opt-6.7b",
+        engine="zero-inference",
+        mixes=("balanced",),
+        quick=True,
+        seed=0,
+    )
+    p1 = run_multimodel_bench(**kwargs)
+    p2 = run_multimodel_bench(**kwargs)
+    assert json.dumps(p1, sort_keys=True) == json.dumps(p2, sort_keys=True)
+    assert REQUIRED_TOP_LEVEL["multimodel"] <= p1.keys()
+    assert p1["models"] == ["opt-1.3b", "opt-6.7b"]
+    mix = p1["mixes"]["balanced"]
+    assert set(mix["coresident"]) == set(CORESIDENT_SCHEDULERS)
+    assert mix["dedicated"]["replicas"] == 2
+    assert set(mix["consolidation_ratio"]) == set(CORESIDENT_SCHEDULERS)
+    # The learned-predictor run carries its mispredict ledger.
+    assert "predictor" in mix["coresident"]["sjf-predict"]
+    assert all(math.isfinite(v) for _, v in iter_floats(p1))
 
 
 def test_quick_audit_payload_keeps_contract(quick_audit_payload):

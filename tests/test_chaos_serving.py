@@ -260,3 +260,34 @@ def test_chaos_bench_payload_deterministic_and_accounted(model):
     assert set(runs) == {"baseline", "pcie-degrade", "flaky-pcie"}
     assert "faults" not in runs["baseline"]["metrics"]
     assert runs["pcie-degrade"]["metrics"]["faults"]["replans"] >= 1
+    # Both drift gates are strictly opt-in: the default payload (and its
+    # byte identity with pre-gate artifacts) is untouched.
+    assert "drift" not in p1 and "serving_drift" not in p1
+
+
+def test_serving_drift_gate_reprices_executed_steps(model):
+    from repro.bench.chaos import DEFAULT_SERVING_DRIFT_TOLERANCE, run_chaos
+
+    payload, _ = run_chaos(
+        model_name="opt-1.3b",
+        scheduler="fcfs",
+        engines=("zero-inference",),
+        scenarios=("pcie-degrade", "flaky-pcie"),
+        quick=True,
+        seed=0,
+        serving_drift_gate=True,
+    )
+    assert payload["all_serving_drift_ok"]
+    gate = payload["serving_drift"]
+    assert gate["tolerance"] == DEFAULT_SERVING_DRIFT_TOLERANCE
+    summary = gate["summary"]
+    assert summary["ok"] and not summary["over_tolerance"]
+    assert summary["num_step_groups_priced"] > 0
+    # Fresh fault-retargeted engines reprice the executed steps through
+    # the same cost model, so agreement is near-exact, far inside the
+    # tolerance that absorbs legitimate watchdog staleness.
+    assert summary["max_rel_err"] < 1e-6
+    for scenario in ("pcie-degrade", "flaky-pcie"):
+        run = gate["engines"]["zero-inference"][scenario]
+        assert run["num_step_groups"] > 0
+        assert not run["over_tolerance"]
