@@ -49,6 +49,12 @@ DEFAULT_BUDGETS: dict[str, float] = {
     #: guards against the per-replica event loop going quadratic in
     #: replicas or queue depth.
     "fleet.run": 300.0,
+    #: The whole speculation sweep (every context x alpha cell, one plan
+    #: per cell).  The quick spec-sim smoke runs its 2x1 grid in ~2 s on
+    #: the reference container; the budget guards against the sweep
+    #: re-planning per cell instead of reusing the cached search, or the
+    #: pricer degenerating into per-token scalar pricing.
+    "spec.run": 120.0,
 }
 
 #: Spans that must appear in the report at all — the profiled command is

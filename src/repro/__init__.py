@@ -26,19 +26,23 @@ Package map (see DESIGN.md for the full inventory):
 - :mod:`repro.bench` — per-table/figure experiment runners.
 """
 
-from repro.baselines import FlexGenEngine, ZeroInferenceEngine
+from repro.baselines import FlexGenEngine, SpecOffloadEngine, ZeroInferenceEngine
 from repro.core import EngineConfig, FunctionalEngine, InferenceReport, LMOffloadEngine
 from repro.hardware import Platform, power9_4xv100, single_a100, small_test_platform
 from repro.models import ModelFootprint, Transformer, TransformerWeights, get_model
 from repro.offload import OffloadPolicy
 from repro.perfmodel import CostModel, CpuExecutionContext, HardwareParams, Workload
+from repro.perfmodel.speculation import SpecConfig, SpecStepPricer
 from repro.quant import QuantConfig, compress, decompress
 
 __version__ = "1.0.0"
 
 __all__ = [
     "FlexGenEngine",
+    "SpecOffloadEngine",
     "ZeroInferenceEngine",
+    "SpecConfig",
+    "SpecStepPricer",
     "EngineConfig",
     "FunctionalEngine",
     "InferenceReport",

@@ -6,9 +6,14 @@
 * :class:`ZeroInferenceEngine` — ZeRO-Inference's all-or-nothing
   offloading: all weights GPU-resident in 4-bit, KV cache fully offloaded
   and streamed, small batches, no zig-zag blocking.
+* :class:`SpecOffloadEngine` — LM-Offload planning plus SpecOffload-style
+  speculative decoding: a draft tree hidden in the PCIe transfer window,
+  one batched verify pass, ``1 + E[accepted]`` tokens per step (priced
+  through the ``step_pricer`` oracle hook).
 """
 
 from repro.baselines.flexgen import FlexGenEngine
+from repro.baselines.spec_offload import SpecOffloadEngine
 from repro.baselines.zero_inference import ZeroInferenceEngine
 
-__all__ = ["FlexGenEngine", "ZeroInferenceEngine"]
+__all__ = ["FlexGenEngine", "SpecOffloadEngine", "ZeroInferenceEngine"]

@@ -14,6 +14,7 @@ from repro.bench.serving import (
     simulate_engine,
     write_bench_serving,
 )
+from repro.bench.spec import run_spec_sweep, spec_rows, write_bench_spec
 from repro.bench.timing import run_bench_timing, write_bench_timing
 from repro.bench.viz import hbar_chart, sparkline, sweep_summary
 from repro.bench.whatif import run_whatif, sample_variants, whatif_rows
@@ -41,6 +42,9 @@ __all__ = [
     "run_serving_comparison",
     "simulate_engine",
     "write_bench_serving",
+    "run_spec_sweep",
+    "spec_rows",
+    "write_bench_spec",
     "sample_variants",
     "run_bench_timing",
     "write_bench_timing",

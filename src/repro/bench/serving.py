@@ -29,9 +29,19 @@ SCHEMA_VERSION = 1
 
 ENGINES = ("lm-offload", "flexgen", "zero-inference")
 
+#: Every engine the harness can construct, including the opt-in
+#: speculative engine (kept out of the default comparison so the
+#: committed artifacts stay stable; ``--spec`` / an explicit ``engines``
+#: tuple adds it).
+ALL_ENGINES = ENGINES + ("spec-offload",)
+
 
 def _make_engine(name: str):
-    from repro.baselines import FlexGenEngine, ZeroInferenceEngine
+    from repro.baselines import (
+        FlexGenEngine,
+        SpecOffloadEngine,
+        ZeroInferenceEngine,
+    )
     from repro.core import LMOffloadEngine
     from repro.hardware import single_a100
 
@@ -39,12 +49,15 @@ def _make_engine(name: str):
         "lm-offload": lambda: LMOffloadEngine(single_a100()),
         "flexgen": lambda: FlexGenEngine(single_a100()),
         "zero-inference": lambda: ZeroInferenceEngine(single_a100()),
+        # Default SpecConfig so every fresh construction (serving runs,
+        # chaos drift-gate reference oracles) prices the same tree.
+        "spec-offload": lambda: SpecOffloadEngine(single_a100()),
     }
     try:
         return factories[name]()
     except KeyError:
         raise ReproError(
-            f"unknown serving engine {name!r}; expected one of {ENGINES}"
+            f"unknown serving engine {name!r}; expected one of {ALL_ENGINES}"
         ) from None
 
 

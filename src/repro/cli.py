@@ -123,15 +123,23 @@ def cmd_plan(args) -> int:
 
 
 def cmd_run(args) -> int:
-    from repro.baselines import FlexGenEngine, ZeroInferenceEngine
+    from repro.baselines import (
+        FlexGenEngine,
+        SpecOffloadEngine,
+        ZeroInferenceEngine,
+    )
     from repro.core import LMOffloadEngine
     from repro.hardware import single_a100
 
     workload = _workload(args)
+    # spec-offload plans (and therefore batch-runs) exactly like
+    # lm-offload — speculation is a serving-step price transform, so it
+    # shows up in serve-sim/spec-sim, not in the offline table row.
     engines = {
         "lm-offload": lambda: LMOffloadEngine(single_a100()),
         "flexgen": lambda: FlexGenEngine(single_a100()),
         "zero-inference": lambda: ZeroInferenceEngine(single_a100()),
+        "spec-offload": lambda: SpecOffloadEngine(single_a100()),
     }
     names = list(engines) if args.engine == "all" else [args.engine]
     rows = []
@@ -280,6 +288,8 @@ def cmd_serve_sim(args) -> int:
         tpot_slo_s=args.tpot_slo,
     )
     engines = tuple(ENGINES) if args.engine == "all" else (args.engine,)
+    if args.spec and "spec-offload" not in engines:
+        engines = engines + ("spec-offload",)
     if args.no_steps and args.chrome_trace:
         raise ConfigError(
             "serve-sim: --no-steps discards the per-step records that "
@@ -347,6 +357,36 @@ def cmd_serve_sim(args) -> int:
             f"request timeline ({name}, {builder.num_slices} steps) "
             f"written to {args.chrome_trace}"
         )
+    return 0
+
+
+def cmd_spec_sim(args) -> int:
+    import json
+
+    from repro.bench.spec import run_spec_sweep, spec_rows
+    from repro.perfmodel.speculation import SpecConfig
+
+    spec = SpecConfig(
+        tree_size=args.tree_size,
+        max_width=args.max_width,
+        draft_compute_ratio=args.draft_ratio,
+        kv_retrieval_budget=args.kv_budget,
+    )
+    payload = run_spec_sweep(
+        model_name=args.model, spec=spec, quick=args.quick
+    )
+    print(f"spec:  {spec.describe()}")
+    print(format_table(spec_rows(payload), f"spec-sim: {args.model}"))
+    comp = payload["comparison"]
+    print(
+        f"best speedup: {comp['best_speedup']:.2f}x at "
+        f"ctx={comp['best_cell']['context']} alpha={comp['best_cell']['alpha']:g}  "
+        f"(long-context wins: {comp['long_context_wins']})"
+    )
+    with open(args.output, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"written to {args.output}")
     return 0
 
 
@@ -692,7 +732,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workload_args(p)
     p.add_argument(
         "--engine", default="all",
-        choices=["all", "lm-offload", "flexgen", "zero-inference"],
+        choices=["all", "lm-offload", "flexgen", "zero-inference",
+                 "spec-offload"],
     )
     p.set_defaults(func=cmd_run)
 
@@ -747,7 +788,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument(
         "--engine", default="all",
-        choices=["all", "lm-offload", "flexgen", "zero-inference"],
+        choices=["all", "lm-offload", "flexgen", "zero-inference",
+                 "spec-offload"],
+    )
+    p.add_argument(
+        "--spec", action="store_true",
+        help="also run the speculative spec-offload engine (adds it to "
+        "whatever --engine selects)",
     )
     p.add_argument(
         "--scenario", default=None,
@@ -773,6 +820,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--output", default="BENCH_serving.json")
     p.set_defaults(func=cmd_serve_sim)
+
+    p = sub.add_parser(
+        "spec-sim",
+        help="speculative-decoding sweep (context x acceptance rate), "
+        "write BENCH_spec.json",
+    )
+    p.add_argument(
+        "--model", default="opt-6.7b",
+        help="registered model name (default opt-6.7b: the largest whose "
+        "128k-context KV fits host memory at batch 1)",
+    )
+    p.add_argument("--tree-size", type=int, default=8,
+                   help="draft-tree nodes including the root")
+    p.add_argument("--max-width", type=int, default=2,
+                   help="max sibling candidates per tree level")
+    p.add_argument("--draft-ratio", type=float, default=0.05,
+                   help="draft forward cost as a fraction of a target forward")
+    p.add_argument("--kv-budget", type=int, default=4096,
+                   help="draft KV-retrieval budget (context tokens)")
+    p.add_argument(
+        "--quick", action="store_true",
+        help="2 contexts x 1 alpha instead of the full 4 x 3 grid (CI smoke)",
+    )
+    p.add_argument("--output", default="BENCH_spec.json")
+    p.set_defaults(func=cmd_spec_sim)
 
     p = sub.add_parser("trace", help="export a Chrome trace of the schedule")
     _add_workload_args(p)

@@ -11,6 +11,10 @@ Layout:
 * :mod:`repro.perfmodel.analyzer` — the three decision procedures of
   "How to use the models": weight-quant benefit, KV-quant benefit, and
   attention-offload benefit.
+* :mod:`repro.perfmodel.speculation` — extension beyond the paper:
+  draft-tree speculative-decoding cost terms (SpecOffload/TriForce) and
+  the per-step price transform the fourth engine plugs into the serving
+  oracle.
 """
 
 from repro.perfmodel.notation import HardwareParams, Workload
@@ -22,8 +26,11 @@ from repro.perfmodel.quant_model import (
 )
 from repro.perfmodel.latency import CostModel, LatencyBreakdown, CpuExecutionContext
 from repro.perfmodel.analyzer import QuantDecision, PerformanceAnalyzer
+from repro.perfmodel.speculation import SpecConfig, SpecStepPricer
 
 __all__ = [
+    "SpecConfig",
+    "SpecStepPricer",
     "HardwareParams",
     "Workload",
     "WeightQuantOverheads",

@@ -43,8 +43,16 @@ class StepCostOracle:
     ``engine`` is any object with the planned-step costing hook:
     ``plan_cached(workload) -> (policy, cpu_ctx, _)`` plus ``hw`` and
     ``calibration`` attributes — :class:`~repro.core.LMOffloadEngine`,
-    :class:`~repro.baselines.FlexGenEngine` and
-    :class:`~repro.baselines.ZeroInferenceEngine` all qualify.
+    :class:`~repro.baselines.FlexGenEngine`,
+    :class:`~repro.baselines.ZeroInferenceEngine` and
+    :class:`~repro.baselines.SpecOffloadEngine` all qualify.
+
+    Engines may additionally expose ``step_pricer(cost_model)`` returning
+    a per-step price transform (or ``None``); the speculative engine uses
+    this to turn each decode step's base price into the expected
+    per-token time under draft-tree speculation.  Engines without the
+    hook — and spec engines with speculation disabled — price bitwise
+    identically to the untransformed path.
     """
 
     engine: Any
@@ -131,6 +139,12 @@ class StepCostOracle:
         self._feasible_cache.clear()
         self._plan_errors.clear()
 
+    def _step_pricer(self, model: CostModel):
+        """The engine's optional per-step price transform for ``model``
+        (``None`` for engines without the hook or with it disabled)."""
+        hook = getattr(self.engine, "step_pricer", None)
+        return hook(model) if hook is not None else None
+
     def _price_workload(self, policy, ctx_b: int) -> Workload:
         # gen_len=2 gives the model exactly one decode token to price;
         # prompt_len=ctx_b puts that token at context ctx_b + 1.
@@ -206,7 +220,11 @@ class StepCostOracle:
         )
         model = CostModel(wl, policy, self.engine.hw, cpu_ctx, self.engine.calibration)
         toks = np.array([b - base for b in buckets], dtype=np.float64)
-        vals = CostModel.step_seconds_vec(model.decode_task_costs_vec(toks))
+        costs = model.decode_task_costs_vec(toks)
+        vals = CostModel.step_seconds_vec(costs)
+        pricer = self._step_pricer(model)
+        if pricer is not None:
+            vals = pricer.step_seconds_vec(toks, costs, vals)
         iters = self._iters(policy)
         for b, v in zip(buckets, vals):
             self._step_cache[("decode", n_seqs, b)] = float(v) * iters
@@ -260,7 +278,11 @@ class StepCostOracle:
             cpu_ctx, self.engine.calibration,
         )
         costs = model.decode_task_costs(0)
-        return CostModel.step_seconds(costs) * self._iters(policy)
+        value = CostModel.step_seconds(costs)
+        pricer = self._step_pricer(model)
+        if pricer is not None:
+            value = pricer.step_seconds(0, costs, value)
+        return value * self._iters(policy)
 
     def prefill_seconds(self, n_seqs: int, prompt_len: int) -> float:
         """Wall seconds for a batched prefill of ``n_seqs`` prompts."""

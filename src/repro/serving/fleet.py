@@ -117,7 +117,7 @@ BUSY_PU_OFFSET = 100
 PRICE_POINTS_PER_SECOND = 1000
 
 #: Engine names a replica may run (same registry as ``repro.bench``).
-REPLICA_ENGINES = ("lm-offload", "flexgen", "zero-inference")
+REPLICA_ENGINES = ("lm-offload", "flexgen", "zero-inference", "spec-offload")
 #: Platform presets a replica may run on.
 REPLICA_PLATFORMS = ("single-a100", "power9-4xv100", "small-test")
 
@@ -132,7 +132,11 @@ _EV_BOUNDARY = 3
 
 def _make_replica_engine(spec: "ReplicaSpec") -> Any:
     """Construct the engine a replica runs (lazy imports, bench idiom)."""
-    from repro.baselines import FlexGenEngine, ZeroInferenceEngine
+    from repro.baselines import (
+        FlexGenEngine,
+        SpecOffloadEngine,
+        ZeroInferenceEngine,
+    )
     from repro.core import LMOffloadEngine
     from repro.hardware import power9_4xv100, single_a100, small_test_platform
 
@@ -145,6 +149,7 @@ def _make_replica_engine(spec: "ReplicaSpec") -> Any:
         "lm-offload": LMOffloadEngine,
         "flexgen": FlexGenEngine,
         "zero-inference": ZeroInferenceEngine,
+        "spec-offload": SpecOffloadEngine,
     }
     return engines[spec.engine](platforms[spec.platform]())
 

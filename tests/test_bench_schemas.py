@@ -1,8 +1,8 @@
 """Golden-schema tests for the committed ``BENCH_*.json`` artifacts.
 
-The six benchmark documents (``BENCH_timing.json``, ``BENCH_serving.json``,
+The seven benchmark documents (``BENCH_timing.json``, ``BENCH_serving.json``,
 ``BENCH_chaos.json``, ``BENCH_audit.json``, ``BENCH_fleet.json``,
-``BENCH_multimodel.json``) are the repo's public contract
+``BENCH_multimodel.json``, ``BENCH_spec.json``) are the repo's public contract
 with downstream dashboards and the CI gates — a key silently disappearing
 is a breaking change that no numeric tolerance catches.  These tests pin
 the contract three ways:
@@ -40,7 +40,7 @@ import pytest
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 SNAPSHOT_PATH = Path(__file__).resolve().parent / "data" / "bench_schemas.json"
-ARTIFACTS = ("timing", "serving", "chaos", "audit", "fleet", "multimodel")
+ARTIFACTS = ("timing", "serving", "chaos", "audit", "fleet", "multimodel", "spec")
 
 #: The minimum top-level contract of each artifact, independent of the
 #: snapshot (so a wholesale snapshot regeneration cannot hide losing one
@@ -66,6 +66,9 @@ REQUIRED_TOP_LEVEL = {
     "multimodel": {
         "config", "engine", "mixes", "models", "preset", "schema_version",
         "seed", "slo_classes",
+    },
+    "spec": {
+        "cells", "comparison", "model", "schema_version", "spec", "sweep",
     },
 }
 
@@ -196,6 +199,21 @@ def test_quick_multimodel_payload_keeps_contract_and_is_deterministic():
     # The learned-predictor run carries its mispredict ledger.
     assert "predictor" in mix["coresident"]["sjf-predict"]
     assert all(math.isfinite(v) for _, v in iter_floats(p1))
+
+
+def test_quick_spec_payload_keeps_contract_and_is_deterministic():
+    from repro.bench.spec import run_spec_sweep
+
+    p1 = run_spec_sweep(quick=True)
+    p2 = run_spec_sweep(quick=True)
+    assert json.dumps(p1, sort_keys=True) == json.dumps(p2, sort_keys=True)
+    assert REQUIRED_TOP_LEVEL["spec"] <= p1.keys()
+    assert all(math.isfinite(v) for _, v in iter_floats(p1))
+    for cell in p1["cells"]:
+        assert {
+            "context", "alpha", "base_tokens_per_s", "spec_tokens_per_s",
+            "speedup", "chosen_depth", "tokens_per_step",
+        } <= cell.keys()
 
 
 def test_quick_audit_payload_keeps_contract(quick_audit_payload):

@@ -9,7 +9,12 @@ properties that must hold everywhere, not just at the pinned configs:
   non-decreasing in tensor volume (context length, batch size);
 * the literal Eq. 2 step time is exactly the max of its six task terms,
   and the resource-grouped step time never undercuts it;
-* the vectorized cost paths match the scalar reference row for row.
+* the vectorized cost paths match the scalar reference row for row;
+* the speculative price transform is structurally safe: expected accepted
+  tokens are monotone in ``alpha`` and bounded by the tree depth, the
+  per-token price never exceeds the base engine's (at ``alpha=1`` or
+  anywhere else), is nondecreasing in context length, and the vec/scalar
+  pricer paths agree bitwise.
 
 No hypothesis dependency — draws come from :func:`repro.util.rng.seeded_rng`
 so every run sees the identical grid.
@@ -23,7 +28,7 @@ import numpy as np
 
 from repro.models import get_model
 from repro.offload import OffloadPolicy
-from repro.perfmodel import CostModel, Workload
+from repro.perfmodel import CostModel, SpecConfig, SpecStepPricer, Workload
 from repro.quant import QuantConfig
 from repro.runtime.tasks import TASK_FIELD_NAMES, TaskCosts
 from repro.util.rng import seeded_rng
@@ -202,3 +207,98 @@ def test_decode_seconds_vectorized_matches_scalar_on_random_grid(
             fast = model.decode_seconds(literal, vectorized=True)
             ref = model.decode_seconds(literal, vectorized=False)
             assert abs(fast - ref) <= 1e-9 * max(abs(ref), 1e-12)
+
+
+# -- speculative price transform -------------------------------------------
+
+
+def random_trees(n: int, *labels: str) -> list[SpecConfig]:
+    """``n`` seeded random tree shapes for this module."""
+    rng = seeded_rng(SEED, "perfmodel-property", *labels)
+    return [
+        SpecConfig(
+            tree_size=int(rng.integers(1, 33)),
+            max_width=int(rng.integers(1, 9)),
+            draft_compute_ratio=float(rng.random() * 0.2),
+            kv_retrieval_budget=int(2 ** rng.integers(6, 13)),
+        )
+        for _ in range(n)
+    ]
+
+
+def test_spec_expected_accepted_monotone_in_alpha_and_bounded():
+    """More agreeable drafts can only accept more; acceptance cannot
+    exceed one token per tree level (or the draft-node count)."""
+    for spec in random_trees(40, "spec-tree"):
+        previous = 0.0
+        for alpha in np.linspace(0.0, 1.0, 11):
+            expected = spec.expected_accepted(float(alpha))
+            assert expected >= previous - 1e-12
+            assert expected <= spec.tree_depth + 1e-12
+            assert spec.tree_depth <= spec.tree_size - 1 or spec.tree_size == 1
+            previous = expected
+        # alpha=1 accepts every level: the bound is attained exactly.
+        assert abs(spec.expected_accepted(1.0) - spec.tree_depth) <= 1e-12
+
+
+def _decode_rows(model: CostModel):
+    toks = np.arange(model.w.gen_len - 1, dtype=np.float64)
+    costs = model.decode_task_costs_vec(toks)
+    return toks, costs, CostModel.step_seconds_vec(costs)
+
+
+def test_spec_price_never_exceeds_base(hw, default_ctx):
+    """The min over tree prefixes includes the empty prefix, so the
+    modeled per-token latency can never exceed the non-speculative
+    engine's — at alpha=1 (the required property) or any other alpha."""
+    for (workload, policy), spec in zip(
+        random_grid(6, "spec-price"), random_trees(6, "spec-price-tree")
+    ):
+        model = CostModel(workload, policy, hw, default_ctx)
+        toks, costs, base = _decode_rows(model)
+        for alpha in (0.0, 0.5, 1.0):
+            pricer = SpecStepPricer(
+                model, dataclasses.replace(spec, alpha=alpha)
+            )
+            priced = pricer.step_seconds_vec(toks, costs, base)
+            assert np.all(priced <= base * (1.0 + 1e-12))
+
+
+def test_spec_price_nondecreasing_in_context_length(hw, default_ctx):
+    """Every speculative term grows (or holds) with context — longer
+    prompts cannot make the speculative step cheaper."""
+    for workload, policy in random_grid(6, "spec-context"):
+        previous = None
+        for scale in (1, 2, 4, 8):
+            scaled = Workload(
+                workload.model,
+                workload.prompt_len * scale,
+                workload.gen_len,
+                workload.gpu_batch_size,
+                workload.num_gpu_batches,
+            )
+            model = CostModel(scaled, policy, hw, default_ctx)
+            toks = np.array([0.0])
+            costs = model.decode_task_costs_vec(toks)
+            base = CostModel.step_seconds_vec(costs)
+            priced = SpecStepPricer(model, SpecConfig()).step_seconds_vec(
+                toks, costs, base
+            )
+            if previous is not None:
+                assert priced[0] >= previous * (1.0 - 1e-12)
+            previous = priced[0]
+
+
+def test_spec_pricer_vec_matches_scalar_bitwise(hw, default_ctx):
+    """The scalar pricer is the vectorized pricer on one row — equality
+    is exact, same discipline as the base cost paths."""
+    for (workload, policy), spec in zip(
+        random_grid(6, "spec-vec"), random_trees(6, "spec-vec-tree")
+    ):
+        model = CostModel(workload, policy, hw, default_ctx)
+        toks, costs, base = _decode_rows(model)
+        pricer = SpecStepPricer(model, spec)
+        vec = pricer.step_seconds_vec(toks, costs, base)
+        for t in range(len(toks)):
+            row = TaskCosts(**dict(zip(TASK_FIELD_NAMES, map(float, costs[t]))))
+            assert vec[t] == pricer.step_seconds(t, row, float(base[t]))
